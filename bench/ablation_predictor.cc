@@ -1,0 +1,80 @@
+/**
+ * @file
+ * §3.1 ablation: predictor indexing and fetch-policy design
+ * space. Compares sub-blocked (no prediction), offset-only,
+ * PC-only and PC&offset indexing, plus Replace vs Union
+ * training, at 256MB.
+ *
+ * Expected shape (paper/[34]): PC&offset dominates; PC-only
+ * breaks under data-structure misalignment; sub-blocked has
+ * maximal underprediction (lowest hit ratio).
+ */
+
+#include "bench_common.hh"
+
+using namespace fpcbench;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    FetchPolicy fetch;
+    PredictorIndex index;
+    FhtTrain train;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+
+    const Variant variants[] = {
+        {"sub-blocked", FetchPolicy::DemandOnly,
+         PredictorIndex::PcOffset, FhtTrain::Replace},
+        {"offset-only", FetchPolicy::Predictor,
+         PredictorIndex::OffsetOnly, FhtTrain::Replace},
+        {"pc-only", FetchPolicy::Predictor,
+         PredictorIndex::PcOnly, FhtTrain::Replace},
+        {"pc+offset", FetchPolicy::Predictor,
+         PredictorIndex::PcOffset, FhtTrain::Replace},
+        {"pc+offset/union", FetchPolicy::Predictor,
+         PredictorIndex::PcOffset, FhtTrain::Union},
+    };
+
+    std::printf("\nPredictor ablation (256MB): miss ratio %% | "
+                "off-chip bytes/access\n");
+    std::printf("  %-16s", "workload");
+    for (const Variant &v : variants)
+        std::printf(" %17s", v.name);
+    std::printf("\n");
+
+    for (WorkloadKind wk : args.workloads()) {
+        std::vector<std::function<RunOutput()>> jobs;
+        for (const Variant &v : variants) {
+            Experiment::Config cfg;
+            cfg.design = DesignKind::Footprint;
+            cfg.capacityMb = 256;
+            cfg.footprintFetch = v.fetch;
+            cfg.predictorIndex = v.index;
+            cfg.fhtTrain = v.train;
+            cfg.singletonOptimization = false;
+            jobs.push_back([=]() {
+                return runOne(wk, cfg, args.scale, args.seed);
+            });
+        }
+        auto res = runParallel(jobs);
+        std::printf("  %-16s", workloadName(wk));
+        for (const auto &r : res) {
+            std::printf("    %5.1f%% | %5.1fB",
+                        100.0 * r.metrics.missRatio(),
+                        static_cast<double>(
+                            r.metrics.offchipBytes) /
+                            r.metrics.demandAccesses);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table regeneration benches:
+ * command-line handling, capacity-scaled run windows, a small
+ * parallel runner, and aligned table printing.
+ *
+ * Every bench accepts:
+ *   --quick        quarter-size run windows (CI-friendly)
+ *   --scale F      multiply run windows by F (default 1.0)
+ *   --seed N       workload seed
+ */
+
+#ifndef FPC_BENCH_COMMON_HH
+#define FPC_BENCH_COMMON_HH
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+
+namespace fpcbench {
+
+using namespace fpc;
+
+struct BenchArgs
+{
+    /**
+     * Run-window scale. 1.0 reproduces the shapes most faithfully
+     * (full FHT training at 512MB); the default is sized so the
+     * whole suite finishes in tens of minutes on two cores.
+     */
+    double scale = 0.4;
+    std::uint64_t seed = 42;
+    std::string workloadFilter;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--quick")) {
+                args.scale = 0.25;
+            } else if (!std::strcmp(argv[i], "--scale") &&
+                       i + 1 < argc) {
+                args.scale = std::atof(argv[++i]);
+            } else if (!std::strcmp(argv[i], "--seed") &&
+                       i + 1 < argc) {
+                args.seed = std::strtoull(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(argv[i], "--workload") &&
+                       i + 1 < argc) {
+                args.workloadFilter = argv[++i];
+            } else {
+                std::fprintf(stderr,
+                             "usage: %s [--quick] [--scale F] "
+                             "[--seed N] [--workload NAME]\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        }
+        return args;
+    }
+
+    /** Workloads selected by --workload (default: all six). */
+    std::vector<WorkloadKind>
+    workloads() const
+    {
+        std::vector<WorkloadKind> out;
+        for (WorkloadKind wk : kAllWorkloads) {
+            if (workloadFilter.empty() ||
+                workloadFilter == workloadName(wk)) {
+                out.push_back(wk);
+            }
+        }
+        return out;
+    }
+};
+
+/**
+ * Warmup must cover cache fill plus FHT training: the only
+ * training events are evictions, so the window scales with
+ * capacity (DESIGN.md).
+ */
+inline std::uint64_t
+warmupRecords(std::uint64_t capacity_mb, double scale)
+{
+    const double base = 4.0e6 + 60.0e3 * capacity_mb;
+    return static_cast<std::uint64_t>(base * scale);
+}
+
+inline std::uint64_t
+measureRecords(double scale)
+{
+    return static_cast<std::uint64_t>(8.0e6 * scale);
+}
+
+/** One experiment run: fresh workload + experiment, metrics out. */
+struct RunOutput
+{
+    RunMetrics metrics;
+    /* Snapshot of footprint-cache detail (valid when present). */
+    bool hasFootprint = false;
+    std::uint64_t covered = 0;
+    std::uint64_t underpred = 0;
+    std::uint64_t overpred = 0;
+    std::uint64_t trigMisses = 0;
+    std::uint64_t singletonBypasses = 0;
+    std::vector<std::uint64_t> densityBuckets;
+    std::uint64_t densityPages = 0;
+};
+
+inline RunOutput
+runOne(WorkloadKind kind, Experiment::Config cfg, double scale,
+       std::uint64_t seed)
+{
+    WorkloadSpec spec = makeWorkload(kind, cfg.pageBytes, seed);
+    SyntheticTraceSource trace(spec);
+    Experiment exp(cfg, trace);
+    RunOutput out;
+    const std::uint64_t warm =
+        cfg.design == DesignKind::Baseline
+            ? warmupRecords(64, scale)
+            : warmupRecords(cfg.capacityMb, scale);
+    out.metrics = exp.run(warm, measureRecords(scale));
+    if (FootprintCache *fc = exp.footprintCache()) {
+        fc->finalizeResidency();
+        out.hasFootprint = true;
+        out.covered = fc->coveredBlocks();
+        out.underpred = fc->underpredictedBlocks();
+        out.overpred = fc->overpredictedBlocks();
+        out.trigMisses = fc->triggeringMisses();
+        out.singletonBypasses = fc->singletonBypasses();
+        const Histogram &h = fc->densityHistogram();
+        out.densityPages = h.totalSamples();
+        for (unsigned b = 0; b < h.numBuckets(); ++b)
+            out.densityBuckets.push_back(h.bucket(b));
+    }
+    return out;
+}
+
+/** Run a batch of jobs with up to hardware-concurrency threads. */
+inline std::vector<RunOutput>
+runParallel(const std::vector<std::function<RunOutput()>> &jobs)
+{
+    const unsigned workers =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<RunOutput> results(jobs.size());
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+            while (true) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= jobs.size())
+                    return;
+                results[i] = jobs[i]();
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+/** Paper capacities (MB). */
+inline const std::vector<std::uint64_t> kCapacities = {64, 128,
+                                                       256, 512};
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n=== %s ===\n", title);
+}
+
+} // namespace fpcbench
+
+#endif // FPC_BENCH_COMMON_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 1: the opportunity study. Performance improvement over
+ * the 2D baseline for (a) die-stacked main memory with 8x the
+ * bandwidth and (b) the same plus halved DRAM latency.
+ *
+ * Expected shape (paper): both bars positive everywhere; latency
+ * adds on top of bandwidth; Data Serving is off the chart.
+ */
+
+#include "bench_common.hh"
+
+using namespace fpcbench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+
+    std::printf("\nFigure 1: die-stacked main-memory opportunity\n");
+    std::printf("  %-16s %12s %22s\n", "workload", "High-BW",
+                "High-BW & Low-Lat");
+
+    for (WorkloadKind wk : args.workloads()) {
+        std::vector<std::function<RunOutput()>> jobs;
+        Experiment::Config base;
+        base.design = DesignKind::Baseline;
+        jobs.push_back([=]() {
+            return runOne(wk, base, args.scale, args.seed);
+        });
+        // Die-stacked main memory: Ideal organization; two stacked
+        // DDR3-3200 channels give exactly 8x the 12.8GB/s 2D
+        // baseline.
+        Experiment::Config hb;
+        hb.design = DesignKind::Ideal;
+        hb.stackedChannels = 2;
+        jobs.push_back([=]() {
+            return runOne(wk, hb, args.scale, args.seed);
+        });
+        Experiment::Config hbll = hb;
+        hbll.stackedLowLatency = true;
+        jobs.push_back([=]() {
+            return runOne(wk, hbll, args.scale, args.seed);
+        });
+        auto res = runParallel(jobs);
+        const double b = res[0].metrics.ipc();
+        std::printf("  %-16s %+11.1f%% %+21.1f%%\n",
+                    workloadName(wk),
+                    100.0 * (res[1].metrics.ipc() / b - 1.0),
+                    100.0 * (res[2].metrics.ipc() / b - 1.0));
+    }
+    return 0;
+}

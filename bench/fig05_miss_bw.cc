@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 5: (a) DRAM-cache miss ratio and (b) off-chip bandwidth
+ * normalized to the no-cache baseline, for the block-based,
+ * Footprint and page-based organizations across 64..512MB.
+ *
+ * Expected shape (paper): page <= footprint << block on miss
+ * ratio; block ~= footprint << page on off-chip traffic (page up
+ * to ~9x baseline at small capacities).
+ */
+
+#include "bench_common.hh"
+
+using namespace fpcbench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+
+    const DesignKind designs[] = {DesignKind::Page,
+                                  DesignKind::Footprint,
+                                  DesignKind::Block};
+
+    for (WorkloadKind wk : args.workloads()) {
+        // Baseline traffic for normalization.
+        std::vector<std::function<RunOutput()>> jobs;
+        Experiment::Config base_cfg;
+        base_cfg.design = DesignKind::Baseline;
+        jobs.push_back([=]() {
+            return runOne(wk, base_cfg, args.scale, args.seed);
+        });
+        for (std::uint64_t mb : kCapacities) {
+            for (DesignKind d : designs) {
+                Experiment::Config cfg;
+                cfg.design = d;
+                cfg.capacityMb = mb;
+                jobs.push_back([=]() {
+                    return runOne(wk, cfg, args.scale, args.seed);
+                });
+            }
+        }
+        std::vector<RunOutput> res = runParallel(jobs);
+
+        const double base_bytes =
+            static_cast<double>(res[0].metrics.offchipBytes);
+        const double base_cycles =
+            static_cast<double>(res[0].metrics.cycles);
+
+        std::printf("\n%s (Fig. 5a miss ratio %% | Fig. 5b "
+                    "off-chip BW vs baseline)\n",
+                    workloadName(wk));
+        std::printf("  %-6s %8s %8s %8s | %8s %8s %8s\n", "size",
+                    "page", "fprint", "block", "page", "fprint",
+                    "block");
+        std::size_t i = 1;
+        for (std::uint64_t mb : kCapacities) {
+            double miss[3], bw[3];
+            for (int d = 0; d < 3; ++d) {
+                const RunMetrics &m = res[i].metrics;
+                miss[d] = 100.0 * m.missRatio();
+                // Traffic per cycle, normalized to baseline
+                // traffic per cycle.
+                const double tpc =
+                    static_cast<double>(m.offchipBytes) /
+                    static_cast<double>(m.cycles);
+                bw[d] = tpc / (base_bytes / base_cycles);
+                ++i;
+            }
+            std::printf("  %4lluMB %8.1f %8.1f %8.1f | %8.2f "
+                        "%8.2f %8.2f\n",
+                        static_cast<unsigned long long>(mb),
+                        miss[0], miss[1], miss[2], bw[0], bw[1],
+                        bw[2]);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 6: performance improvement over the no-DRAM-cache
+ * baseline for block-based, page-based, Footprint and Ideal
+ * organizations at 64..512MB, per workload plus the geomean
+ * (Data Serving is reported by fig07_dataserving, as in the
+ * paper, but is included in the geomean here).
+ *
+ * Expected shape (paper): block gives a solid boost at 64MB but
+ * plateaus; page starts negative and recovers with capacity;
+ * Footprint improves steadily and wins at most points; the
+ * average Footprint improvement at 512MB is ~57%, about 82% of
+ * Ideal.
+ */
+
+#include "bench_common.hh"
+
+using namespace fpcbench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+
+    const DesignKind designs[] = {
+        DesignKind::Block, DesignKind::Page, DesignKind::Footprint,
+        DesignKind::Ideal};
+
+    // improvement[design][capacity] per workload, for geomean.
+    std::vector<std::array<std::array<double, 4>, 4>> speedups;
+
+    for (WorkloadKind wk : args.workloads()) {
+        std::vector<std::function<RunOutput()>> jobs;
+        Experiment::Config base_cfg;
+        base_cfg.design = DesignKind::Baseline;
+        jobs.push_back([=]() {
+            return runOne(wk, base_cfg, args.scale, args.seed);
+        });
+        for (std::uint64_t mb : kCapacities) {
+            for (DesignKind d : designs) {
+                Experiment::Config cfg;
+                cfg.design = d;
+                cfg.capacityMb = mb;
+                jobs.push_back([=]() {
+                    return runOne(wk, cfg, args.scale, args.seed);
+                });
+            }
+        }
+        std::vector<RunOutput> res = runParallel(jobs);
+        const double base_ipc = res[0].metrics.ipc();
+
+        std::printf("\n%s (performance improvement over "
+                    "baseline, %%)\n",
+                    workloadName(wk));
+        std::printf("  %-6s %8s %8s %8s %8s\n", "size", "block",
+                    "page", "fprint", "ideal");
+        std::array<std::array<double, 4>, 4> sp{};
+        std::size_t i = 1;
+        for (std::size_t c = 0; c < kCapacities.size(); ++c) {
+            double imp[4];
+            for (int d = 0; d < 4; ++d) {
+                sp[d][c] = res[i].metrics.ipc() / base_ipc;
+                imp[d] = 100.0 * (sp[d][c] - 1.0);
+                ++i;
+            }
+            std::printf("  %4lluMB %+7.1f%% %+7.1f%% %+7.1f%% "
+                        "%+7.1f%%\n",
+                        static_cast<unsigned long long>(
+                            kCapacities[c]),
+                        imp[0], imp[1], imp[2], imp[3]);
+        }
+        speedups.push_back(sp);
+    }
+
+    if (speedups.size() > 1) {
+        std::printf("\nGeomean (performance improvement over "
+                    "baseline, %%)\n");
+        std::printf("  %-6s %8s %8s %8s %8s\n", "size", "block",
+                    "page", "fprint", "ideal");
+        for (std::size_t c = 0; c < kCapacities.size(); ++c) {
+            std::printf("  %4lluMB",
+                        static_cast<unsigned long long>(
+                            kCapacities[c]));
+            for (int d = 0; d < 4; ++d) {
+                std::vector<double> v;
+                for (const auto &sp : speedups)
+                    v.push_back(sp[d][c]);
+                std::printf(" %+7.1f%%",
+                            100.0 * (geomean(v) - 1.0));
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 7: performance improvement for Data Serving, the
+ * bandwidth monster plotted on its own scale in the paper.
+ *
+ * Expected shape (paper): page-based strongly negative at 64MB,
+ * recovering with capacity; Footprint large and positive
+ * throughout; Ideal around +312%.
+ */
+
+#include "bench_common.hh"
+
+using namespace fpcbench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    const WorkloadKind wk = WorkloadKind::DataServing;
+
+    std::vector<std::function<RunOutput()>> jobs;
+    Experiment::Config base;
+    base.design = DesignKind::Baseline;
+    jobs.push_back(
+        [=]() { return runOne(wk, base, args.scale, args.seed); });
+    const DesignKind designs[] = {
+        DesignKind::Block, DesignKind::Page, DesignKind::Footprint,
+        DesignKind::Ideal};
+    for (std::uint64_t mb : kCapacities) {
+        for (DesignKind d : designs) {
+            Experiment::Config cfg;
+            cfg.design = d;
+            cfg.capacityMb = mb;
+            jobs.push_back([=]() {
+                return runOne(wk, cfg, args.scale, args.seed);
+            });
+        }
+    }
+    auto res = runParallel(jobs);
+    const double b = res[0].metrics.ipc();
+
+    std::printf("\nData Serving (performance improvement over "
+                "baseline, %%)\n");
+    std::printf("  %-6s %9s %9s %9s %9s\n", "size", "block",
+                "page", "fprint", "ideal");
+    std::size_t i = 1;
+    for (std::uint64_t mb : kCapacities) {
+        std::printf("  %4lluMB",
+                    static_cast<unsigned long long>(mb));
+        for (int d = 0; d < 4; ++d) {
+            std::printf(" %+8.1f%%",
+                        100.0 * (res[i].metrics.ipc() / b - 1.0));
+            ++i;
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 8: predictor accuracy vs page size (1KB/2KB/4KB) at
+ * 256MB with 16K FHT entries: covered, underpredicted and
+ * overpredicted blocks as a fraction of demanded blocks.
+ *
+ * Expected shape (paper): covered + under = 100%; overpredictions
+ * are an extra bar on top; 1-2KB pages predict best.
+ */
+
+#include "bench_common.hh"
+
+using namespace fpcbench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    const unsigned page_sizes[] = {1024, 2048, 4096};
+
+    std::printf("\nFigure 8: predictor accuracy by page size "
+                "(256MB, 16K FHT)\n");
+    std::printf("  %-16s %6s %10s %10s %10s\n", "workload", "page",
+                "covered", "underpred", "overpred");
+
+    for (WorkloadKind wk : args.workloads()) {
+        std::vector<std::function<RunOutput()>> jobs;
+        for (unsigned ps : page_sizes) {
+            Experiment::Config cfg;
+            cfg.design = DesignKind::Footprint;
+            cfg.capacityMb = 256;
+            cfg.pageBytes = ps;
+            jobs.push_back([=]() {
+                return runOne(wk, cfg, args.scale, args.seed);
+            });
+        }
+        auto res = runParallel(jobs);
+        for (std::size_t i = 0; i < 3; ++i) {
+            const double demanded = static_cast<double>(
+                res[i].covered + res[i].underpred);
+            if (demanded == 0)
+                continue;
+            std::printf("  %-16s %5uB %9.1f%% %9.1f%% %9.1f%%\n",
+                        i == 0 ? workloadName(wk) : "",
+                        page_sizes[i],
+                        100.0 * res[i].covered / demanded,
+                        100.0 * res[i].underpred / demanded,
+                        100.0 * res[i].overpred / demanded);
+        }
+    }
+    return 0;
+}

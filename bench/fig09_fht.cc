@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 9: Footprint Cache hit-ratio sensitivity to the number
+ * of FHT entries (256MB cache, 2KB pages).
+ *
+ * Expected shape (paper): flat from ~8K entries up (the history
+ * is instruction-based, so its working set is small); visible
+ * drops only at the smallest tables.
+ */
+
+#include "bench_common.hh"
+
+using namespace fpcbench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    const std::uint32_t sizes[] = {1024, 2048, 4096, 8192, 16384,
+                                   65536};
+
+    std::printf("\nFigure 9: hit ratio (%%) vs FHT entries "
+                "(256MB, 2KB pages)\n");
+    std::printf("  %-16s", "workload");
+    for (std::uint32_t s : sizes)
+        std::printf(" %7u", s);
+    std::printf("\n");
+
+    for (WorkloadKind wk : args.workloads()) {
+        std::vector<std::function<RunOutput()>> jobs;
+        for (std::uint32_t s : sizes) {
+            Experiment::Config cfg;
+            cfg.design = DesignKind::Footprint;
+            cfg.capacityMb = 256;
+            cfg.fhtEntries = s;
+            jobs.push_back([=]() {
+                return runOne(wk, cfg, args.scale, args.seed);
+            });
+        }
+        auto res = runParallel(jobs);
+        std::printf("  %-16s", workloadName(wk));
+        for (std::size_t i = 0; i < res.size(); ++i) {
+            std::printf(" %6.1f%%",
+                        100.0 * (1.0 - res[i].metrics.missRatio()));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 10: off-chip DRAM dynamic energy per instruction,
+ * normalized to the baseline system, split into
+ * activate/precharge vs read/write burst energy (256MB caches).
+ *
+ * Expected shape (paper): every cache design saves substantially;
+ * page burns the most burst energy but has good row locality;
+ * block burns the most activate/precharge energy; Footprint is
+ * the lowest overall (-78% vs baseline).
+ */
+
+#include "bench_common.hh"
+
+using namespace fpcbench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    const DesignKind designs[] = {DesignKind::Baseline,
+                                  DesignKind::Block,
+                                  DesignKind::Page,
+                                  DesignKind::Footprint};
+
+    std::printf("\nFigure 10: off-chip DRAM dynamic energy per "
+                "instruction (norm. to baseline)\n");
+    std::printf("  %-16s %-10s %9s %9s %9s\n", "workload",
+                "design", "act/pre", "rd/wr", "total");
+
+    std::vector<double> totals[4];
+    for (WorkloadKind wk : args.workloads()) {
+        std::vector<std::function<RunOutput()>> jobs;
+        for (DesignKind d : designs) {
+            Experiment::Config cfg;
+            cfg.design = d;
+            cfg.capacityMb = 256;
+            jobs.push_back([=]() {
+                return runOne(wk, cfg, args.scale, args.seed);
+            });
+        }
+        auto res = runParallel(jobs);
+        const RunMetrics &b = res[0].metrics;
+        const double base_epi = b.offchipEnergyPerInstr();
+        for (int d = 0; d < 4; ++d) {
+            const RunMetrics &m = res[d].metrics;
+            const double act =
+                m.offchipActPreNj / m.instructions / base_epi;
+            const double burst =
+                m.offchipBurstNj / m.instructions / base_epi;
+            totals[d].push_back(act + burst);
+            std::printf("  %-16s %-10s %8.1f%% %8.1f%% %8.1f%%\n",
+                        d == 0 ? workloadName(wk) : "",
+                        designName(designs[d]), 100.0 * act,
+                        100.0 * burst, 100.0 * (act + burst));
+        }
+    }
+    if (!totals[0].empty() && totals[0].size() > 1) {
+        std::printf("  %-16s", "Geomean");
+        for (int d = 0; d < 4; ++d)
+            std::printf(" %s=%.1f%%", designName(designs[d]),
+                        100.0 * geomean(totals[d]));
+        std::printf("\n");
+    }
+    return 0;
+}

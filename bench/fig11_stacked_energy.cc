@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 11: stacked DRAM dynamic energy per instruction,
+ * normalized to the block-based design, split into
+ * activate/precharge vs read/write (256MB caches).
+ *
+ * Expected shape (paper): Footprint ~24% below block-based,
+ * page-based ~17% below; savings smaller than off-chip because
+ * regular read/write requests have fewer row hits.
+ */
+
+#include "bench_common.hh"
+
+using namespace fpcbench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    const DesignKind designs[] = {DesignKind::Block,
+                                  DesignKind::Page,
+                                  DesignKind::Footprint};
+
+    std::printf("\nFigure 11: stacked DRAM dynamic energy per "
+                "instruction (norm. to block-based)\n");
+    std::printf("  %-16s %-10s %9s %9s %9s\n", "workload",
+                "design", "act/pre", "rd/wr", "total");
+
+    std::vector<double> totals[3];
+    for (WorkloadKind wk : args.workloads()) {
+        std::vector<std::function<RunOutput()>> jobs;
+        for (DesignKind d : designs) {
+            Experiment::Config cfg;
+            cfg.design = d;
+            cfg.capacityMb = 256;
+            jobs.push_back([=]() {
+                return runOne(wk, cfg, args.scale, args.seed);
+            });
+        }
+        auto res = runParallel(jobs);
+        const RunMetrics &b = res[0].metrics;
+        const double base_epi = b.stackedEnergyPerInstr();
+        for (int d = 0; d < 3; ++d) {
+            const RunMetrics &m = res[d].metrics;
+            const double act =
+                m.stackedActPreNj / m.instructions / base_epi;
+            const double burst =
+                m.stackedBurstNj / m.instructions / base_epi;
+            totals[d].push_back(act + burst);
+            std::printf("  %-16s %-10s %8.1f%% %8.1f%% %8.1f%%\n",
+                        d == 0 ? workloadName(wk) : "",
+                        designName(designs[d]), 100.0 * act,
+                        100.0 * burst, 100.0 * (act + burst));
+        }
+    }
+    if (totals[0].size() > 1) {
+        std::printf("  %-16s", "Geomean");
+        for (int d = 0; d < 3; ++d)
+            std::printf(" %s=%.1f%%", designName(designs[d]),
+                        100.0 * geomean(totals[d]));
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of
+ * the structures on the access critical path — FHT lookups, page
+ * tag array lookups, MissMap checks, DRAM channel reservations,
+ * and the synthetic trace engine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dram/channel.hh"
+#include "dramcache/fht.hh"
+#include "dramcache/missmap.hh"
+#include "dramcache/page_tag_array.hh"
+#include "workload/generator.hh"
+
+namespace {
+
+using namespace fpc;
+
+void
+BM_FhtLookup(benchmark::State &state)
+{
+    FootprintHistoryTable::Config cfg;
+    cfg.entries = static_cast<std::uint32_t>(state.range(0));
+    FootprintHistoryTable fht(cfg);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        auto r = fht.lookupOrAllocate(0x400000 + (i % 4096) * 4,
+                                      static_cast<unsigned>(i % 32));
+        benchmark::DoNotOptimize(r.footprint);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FhtLookup)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void
+BM_PageTagLookup(benchmark::State &state)
+{
+    PageTagArray::Config cfg;
+    cfg.capacityBytes = 256ULL << 20;
+    PageTagArray tags(cfg);
+    PageTagArray::Victim victim;
+    for (Addr p = 0; p < 10000; ++p)
+        tags.allocate(p * 7, victim);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tags.lookup((i % 10000) * 7));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTagLookup);
+
+void
+BM_MissMapCheck(benchmark::State &state)
+{
+    MissMap mm(MissMap::Config{});
+    MissMap::Victim victim;
+    for (Addr a = 0; a < 100000; ++a)
+        mm.setBit(a * 64 * 3, victim);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mm.present((i % 100000) * 64 * 3));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MissMapCheck);
+
+void
+BM_DramChannelAccess(benchmark::State &state)
+{
+    DramChannel ch(DramTimingParams::ddr3_3200_stacked(),
+                   DramEnergyParams::stackedDram(), "bm");
+    Cycle now = 0;
+    std::uint64_t x = 7;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ULL + 1;
+        now += 20;
+        benchmark::DoNotOptimize(
+            ch.access(now, (x >> 10) % (1 << 26), (x & 1) != 0, 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramChannelAccess);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
+    SyntheticTraceSource src(spec);
+    TraceRecord r;
+    for (auto _ : state) {
+        src.next(0, r);
+        benchmark::DoNotOptimize(r.req.paddr);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 1 (measured version): block-based vs page-based vs
+ * Footprint on the qualitative axes of the paper, backed by
+ * numbers from one 256MB Web Search run: tag storage, off-chip
+ * traffic, hit ratio, hit latency proxy (stacked row-hit rate)
+ * and capacity efficiency (fetched blocks actually demanded).
+ */
+
+#include "bench_common.hh"
+
+#include "dramcache/missmap.hh"
+#include "dramcache/page_tag_array.hh"
+
+using namespace fpcbench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    const WorkloadKind wk = WorkloadKind::WebSearch;
+
+    std::vector<std::function<RunOutput()>> jobs;
+    for (DesignKind d : {DesignKind::Block, DesignKind::Page,
+                         DesignKind::Footprint}) {
+        Experiment::Config cfg;
+        cfg.design = d;
+        cfg.capacityMb = 256;
+        jobs.push_back([=]() {
+            return runOne(wk, cfg, args.scale, args.seed);
+        });
+    }
+    auto res = runParallel(jobs);
+
+    // SRAM storage (Table 4 formulas).
+    PageTagArray::Config tcfg;
+    tcfg.capacityBytes = 256ULL << 20;
+    PageTagArray tags(tcfg);
+    const double fp_mb =
+        tags.storageBits(40, true, true) / (8.0 * 1024 * 1024);
+    const double pg_mb =
+        tags.storageBits(40, false, false) / (8.0 * 1024 * 1024);
+    MissMap mm(missMapConfig(256));
+    const double mm_mb = mm.storageBits(40) / (8.0 * 1024 * 1024);
+
+    std::printf("\nTable 1 (measured, 256MB, Web Search)\n");
+    std::printf("  %-28s %10s %10s %10s\n", "property", "block",
+                "page", "fprint");
+    std::printf("  %-28s %9.2fM %9.2fM %9.2fM\n",
+                "SRAM metadata (MB)", mm_mb, pg_mb, fp_mb);
+    std::printf("  %-28s %9.1f%% %9.1f%% %9.1f%%\n", "hit ratio",
+                100.0 * (1 - res[0].metrics.missRatio()),
+                100.0 * (1 - res[1].metrics.missRatio()),
+                100.0 * (1 - res[2].metrics.missRatio()));
+    auto traffic = [](const RunOutput &r) {
+        return static_cast<double>(r.metrics.offchipBytes) /
+               r.metrics.demandAccesses;
+    };
+    std::printf("  %-28s %9.1fB %9.1fB %9.1fB\n",
+                "off-chip bytes per access", traffic(res[0]),
+                traffic(res[1]), traffic(res[2]));
+    auto stacked_traffic = [](const RunOutput &r) {
+        return static_cast<double>(r.metrics.stackedBytes) /
+               r.metrics.demandAccesses;
+    };
+    std::printf("  %-28s %9.1fB %9.1fB %9.1fB\n",
+                "stacked bytes per access", stacked_traffic(res[0]),
+                stacked_traffic(res[1]), stacked_traffic(res[2]));
+    return 0;
+}

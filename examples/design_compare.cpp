@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Design comparison: run one workload through all five memory
+ * organizations at one capacity and print a side-by-side report —
+ * the experiment a system architect would run first when
+ * evaluating a die-stacked cache for a new workload.
+ *
+ * Usage: design_compare [workload] [capacityMB] [records]
+ *   workload: DataServing | MapReduce | Multiprogrammed |
+ *             SatSolver | WebFrontend | WebSearch
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+
+using namespace fpc;
+
+static WorkloadKind
+parseWorkload(const char *name)
+{
+    for (WorkloadKind wk : kAllWorkloads) {
+        if (!std::strcmp(name, workloadName(wk)))
+            return wk;
+    }
+    std::fprintf(stderr, "unknown workload '%s'\n", name);
+    std::exit(2);
+}
+
+int
+main(int argc, char **argv)
+{
+    WorkloadKind wk = WorkloadKind::DataServing;
+    std::uint64_t capacity_mb = 256;
+    std::uint64_t records = 20'000'000;
+    if (argc > 1)
+        wk = parseWorkload(argv[1]);
+    if (argc > 2)
+        capacity_mb = std::strtoull(argv[2], nullptr, 10);
+    if (argc > 3)
+        records = std::strtoull(argv[3], nullptr, 10);
+
+    std::printf("workload=%s capacity=%lluMB records=%llu\n\n",
+                workloadName(wk),
+                static_cast<unsigned long long>(capacity_mb),
+                static_cast<unsigned long long>(records));
+    std::printf("%-10s %8s %8s %10s %10s %10s %10s\n", "design",
+                "IPC", "miss%", "offGB/s", "stkGB/s", "offnJ/I",
+                "stknJ/I");
+
+    double base_ipc = 0.0;
+    for (DesignKind d :
+         {DesignKind::Baseline, DesignKind::Block, DesignKind::Page,
+          DesignKind::Footprint, DesignKind::Ideal}) {
+        WorkloadSpec spec = makeWorkload(wk);
+        SyntheticTraceSource trace(spec);
+        Experiment::Config cfg;
+        cfg.design = d;
+        cfg.capacityMb = capacity_mb;
+        Experiment exp(cfg, trace);
+        RunMetrics m = exp.run(records / 2, records / 2);
+        if (d == DesignKind::Baseline)
+            base_ipc = m.ipc();
+        std::printf("%-10s %8.3f %7.1f%% %10.2f %10.2f %10.3f "
+                    "%10.3f",
+                    designName(d), m.ipc(),
+                    100.0 * m.missRatio(),
+                    m.offchipBandwidthGBps(),
+                    static_cast<double>(m.stackedBytes) /
+                        (m.cycles / 3.0),
+                    m.offchipEnergyPerInstr(),
+                    m.stackedEnergyPerInstr());
+        if (d != DesignKind::Baseline && base_ipc > 0.0) {
+            std::printf("   (%+.1f%% vs baseline)",
+                        100.0 * (m.ipc() / base_ipc - 1.0));
+        }
+        std::printf("\n");
+
+        if (FootprintCache *fc = exp.footprintCache()) {
+            fc->finalizeResidency();
+            const double cov =
+                static_cast<double>(fc->coveredBlocks());
+            const double und = static_cast<double>(
+                fc->underpredictedBlocks());
+            if (cov + und > 0) {
+                std::printf(
+                    "           predictor: %.1f%% covered, "
+                    "%llu singleton bypasses\n",
+                    100.0 * cov / (cov + und),
+                    static_cast<unsigned long long>(
+                        fc->singletonBypasses()));
+            }
+        }
+    }
+    return 0;
+}

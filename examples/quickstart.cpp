@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: build a 256MB Footprint Cache system for one
+ * scale-out pod, run the Web Search workload model through it,
+ * and print the headline statistics.
+ *
+ * Usage: quickstart [records]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fpc;
+
+    std::uint64_t records = 4'000'000;
+    if (argc > 1)
+        records = std::strtoull(argv[1], nullptr, 10);
+
+    // 1. Pick a workload model (a stand-in for a CloudSuite
+    //    trace) and a cache configuration.
+    WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
+    SyntheticTraceSource trace(spec);
+
+    Experiment::Config cfg;
+    cfg.design = DesignKind::Footprint;
+    cfg.capacityMb = 256;
+
+    // 2. Build the fully-wired pod (cores, L1/L2, footprint
+    //    cache, stacked + off-chip DRAM) and run it.
+    Experiment exp(cfg, trace);
+    RunMetrics m = exp.run(records / 2, records / 2);
+
+    // 3. Report.
+    std::printf("workload            : %s\n", spec.name.c_str());
+    std::printf("design              : %s\n",
+                exp.memory().designName().c_str());
+    std::printf("instructions        : %llu\n",
+                static_cast<unsigned long long>(m.instructions));
+    std::printf("cycles              : %llu\n",
+                static_cast<unsigned long long>(m.cycles));
+    std::printf("aggregate IPC       : %.3f\n", m.ipc());
+    std::printf("LLC misses          : %llu\n",
+                static_cast<unsigned long long>(m.llcMisses));
+    std::printf("DRAM$ miss ratio    : %.1f%%\n",
+                100.0 * m.missRatio());
+    std::printf("off-chip traffic    : %.1f MB (%.2f GB/s)\n",
+                m.offchipBytes / 1048576.0,
+                m.offchipBandwidthGBps());
+    std::printf("stacked traffic     : %.1f MB\n",
+                m.stackedBytes / 1048576.0);
+    std::printf("off-chip nJ/instr   : %.3f\n",
+                m.offchipEnergyPerInstr());
+    std::printf("stacked  nJ/instr   : %.3f\n",
+                m.stackedEnergyPerInstr());
+
+    FootprintCache *cache = exp.footprintCache();
+    cache->finalizeResidency();
+    std::printf("triggering misses   : %llu\n",
+                static_cast<unsigned long long>(
+                    cache->triggeringMisses()));
+    std::printf("underpred misses    : %llu\n",
+                static_cast<unsigned long long>(
+                    cache->underpredictionMisses()));
+    std::printf("singleton bypasses  : %llu\n",
+                static_cast<unsigned long long>(
+                    cache->singletonBypasses()));
+    const double cov = static_cast<double>(cache->coveredBlocks());
+    const double und = static_cast<double>(
+        cache->underpredictedBlocks());
+    const double over = static_cast<double>(
+        cache->overpredictedBlocks());
+    if (cov + und > 0) {
+        std::printf("predictor coverage  : %.1f%% (+%.1f%% over)\n",
+                    100.0 * cov / (cov + und),
+                    100.0 * over / (cov + und));
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "cache/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace fpc {
+
+CacheHierarchy::Config
+CacheHierarchy::Config::scaleOutPod(unsigned num_cores)
+{
+    Config cfg;
+    cfg.numCores = num_cores;
+    cfg.l1.sizeBytes = 64 * 1024;
+    cfg.l1.assoc = 4;
+    cfg.l1.blockBytes = kBlockBytes;
+    cfg.l2.sizeBytes = 4ULL * 1024 * 1024;
+    cfg.l2.assoc = 16;
+    cfg.l2.blockBytes = kBlockBytes;
+    return cfg;
+}
+
+CacheHierarchy::CacheHierarchy(const Config &config)
+    : config_(config), stats_("hierarchy")
+{
+    FPC_ASSERT(config_.numCores > 0);
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        l1d_.push_back(std::make_unique<SetAssocCache>(
+            config_.l1, "l1d" + std::to_string(c)));
+    }
+    l2_ = std::make_unique<SetAssocCache>(config_.l2, "l2");
+
+    stats_.regCounter(&l1_hits_, "l1_hits", "aggregate L1D hits");
+    stats_.regCounter(&l1_misses_, "l1_misses",
+                      "aggregate L1D misses");
+    stats_.regCounter(&l2_hits_, "l2_hits", "shared L2 hits");
+    stats_.regCounter(&l2_misses_, "l2_misses", "shared L2 misses");
+    stats_.regCounter(&llc_wb_, "llc_writebacks",
+                      "dirty evictions sent to memory");
+}
+
+void
+CacheHierarchy::backInvalidate(Addr addr, bool l2_dirty,
+                               HierarchyOutcome &out)
+{
+    // Inclusive L2: evicting a line removes it from every L1D. A
+    // dirty copy at either level makes this a memory writeback.
+    bool dirty = l2_dirty;
+    for (auto &l1 : l1d_) {
+        bool was_dirty = false;
+        if (l1->invalidate(addr, was_dirty))
+            dirty |= was_dirty;
+    }
+    if (dirty) {
+        FPC_ASSERT(out.numWritebacks < out.writebackAddr.size());
+        out.writebackAddr[out.numWritebacks++] = addr;
+        llc_wb_.inc();
+    }
+}
+
+HierarchyOutcome
+CacheHierarchy::access(const MemRequest &req)
+{
+    FPC_ASSERT(req.coreId < config_.numCores);
+    HierarchyOutcome out;
+    const Addr block = blockAlign(req.paddr);
+    const bool is_write = req.op == MemOp::Write;
+
+    CacheAccessResult r1 = l1d_[req.coreId]->access(block, is_write);
+    if (r1.hit) {
+        out.l1Hit = true;
+        l1_hits_.inc();
+        return out;
+    }
+    l1_misses_.inc();
+
+    // Drain the L1 victim into the L2 before the demand access so
+    // that the inclusion invariant keeps this a guaranteed L2 hit.
+    if (r1.victimValid && r1.victimDirty) {
+        CacheAccessResult wb = l2_->access(r1.victimAddr, true);
+        if (!wb.hit && wb.victimValid)
+            backInvalidate(wb.victimAddr, wb.victimDirty, out);
+    }
+
+    CacheAccessResult r2 = l2_->access(block, false);
+    if (r2.hit) {
+        out.l2Hit = true;
+        l2_hits_.inc();
+        return out;
+    }
+    l2_misses_.inc();
+    if (r2.victimValid)
+        backInvalidate(r2.victimAddr, r2.victimDirty, out);
+    return out;
+}
+
+} // namespace fpc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Functional on-chip SRAM cache hierarchy of one scale-out pod:
+ * a private L1D per core plus a shared, inclusive L2 (Table 3).
+ *
+ * The hierarchy filters the raw access trace into the LLC-miss and
+ * LLC-writeback stream that the die-stacked DRAM cache observes.
+ * Coherence is enforced at the L2 (§7 of the paper): L2 evictions
+ * back-invalidate the L1 copies, and a dirty copy at either level
+ * turns the eviction into a memory writeback.
+ */
+
+#ifndef FPC_CACHE_HIERARCHY_HH
+#define FPC_CACHE_HIERARCHY_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "common/stats.hh"
+#include "mem/request.hh"
+
+namespace fpc {
+
+/** What one access did to the on-chip hierarchy. */
+struct HierarchyOutcome
+{
+    /** Hit in the issuing core's L1D. */
+    bool l1Hit = false;
+
+    /** Hit in the shared L2 (only meaningful when !l1Hit). */
+    bool l2Hit = false;
+
+    /** Number of dirty-line writebacks emitted towards memory. */
+    unsigned numWritebacks = 0;
+
+    /** Block-aligned addresses of the emitted writebacks. */
+    std::array<Addr, 3> writebackAddr{};
+
+    /** True when the access must be served below the L2. */
+    bool llcMiss() const { return !l1Hit && !l2Hit; }
+};
+
+/** Pod cache hierarchy: N private L1Ds and one shared L2. */
+class CacheHierarchy
+{
+  public:
+    struct Config
+    {
+        unsigned numCores = 16;
+        SetAssocCache::Config l1;
+        SetAssocCache::Config l2;
+
+        /** Table 3 configuration: 64KB L1D, 4MB 16-way L2. */
+        static Config scaleOutPod(unsigned num_cores = 16);
+    };
+
+    explicit CacheHierarchy(const Config &config);
+
+    /**
+     * Run one access through L1 and (on miss) L2.
+     *
+     * The returned outcome carries any dirty writebacks the access
+     * forced out of the hierarchy; the caller forwards LLC misses
+     * and writebacks to the memory system below.
+     */
+    HierarchyOutcome access(const MemRequest &req);
+
+    std::uint64_t l1Hits() const { return l1_hits_.value(); }
+    std::uint64_t l1Misses() const { return l1_misses_.value(); }
+    std::uint64_t l2Hits() const { return l2_hits_.value(); }
+    std::uint64_t l2Misses() const { return l2_misses_.value(); }
+    std::uint64_t llcWritebacks() const { return llc_wb_.value(); }
+
+    unsigned numCores() const { return config_.numCores; }
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    void backInvalidate(Addr addr, bool l2_dirty,
+                        HierarchyOutcome &out);
+
+    Config config_;
+    std::vector<std::unique_ptr<SetAssocCache>> l1d_;
+    std::unique_ptr<SetAssocCache> l2_;
+
+    StatGroup stats_;
+    Counter l1_hits_;
+    Counter l1_misses_;
+    Counter l2_hits_;
+    Counter l2_misses_;
+    Counter llc_wb_;
+};
+
+} // namespace fpc
+
+#endif // FPC_CACHE_HIERARCHY_HH

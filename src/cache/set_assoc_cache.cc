@@ -1,0 +1,149 @@
+#include "cache/set_assoc_cache.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpc {
+
+SetAssocCache::SetAssocCache(const Config &config,
+                             std::string stat_name)
+    : config_(config), rand_state_(config.seed | 1),
+      stats_(std::move(stat_name))
+{
+    if (!isPowerOf2(config_.sizeBytes) ||
+        !isPowerOf2(config_.blockBytes)) {
+        fatal("cache size and block size must be powers of two");
+    }
+    if (config_.assoc == 0)
+        fatal("cache associativity must be non-zero");
+    std::uint64_t num_lines = config_.sizeBytes / config_.blockBytes;
+    if (num_lines % config_.assoc != 0)
+        fatal("cache lines (%llu) not divisible by assoc (%u)",
+              static_cast<unsigned long long>(num_lines),
+              config_.assoc);
+    num_sets_ = num_lines / config_.assoc;
+    if (!isPowerOf2(num_sets_))
+        fatal("number of cache sets must be a power of two");
+    block_shift_ = floorLog2(config_.blockBytes);
+    lines_.resize(num_lines);
+
+    stats_.regCounter(&hits_, "hits", "demand hits");
+    stats_.regCounter(&misses_, "misses", "demand misses");
+    stats_.regCounter(&evictions_, "evictions",
+                      "valid lines evicted");
+    stats_.regCounter(&writebacks_, "writebacks",
+                      "dirty lines evicted");
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr >> block_shift_) & (num_sets_ - 1);
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr >> block_shift_ >> floorLog2(num_sets_);
+}
+
+Addr
+SetAssocCache::rebuildAddr(Addr tag, std::uint64_t set) const
+{
+    return ((tag << floorLog2(num_sets_)) | set) << block_shift_;
+}
+
+unsigned
+SetAssocCache::pickVictim(std::uint64_t set)
+{
+    const std::size_t base = set * config_.assoc;
+    // Prefer an invalid way.
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (!lines_[base + w].valid)
+            return w;
+    }
+    if (config_.repl == ReplPolicy::Random)
+        return static_cast<unsigned>(
+            splitMix64(rand_state_) % config_.assoc);
+    unsigned victim = 0;
+    std::uint64_t oldest = lines_[base].lastUse;
+    for (unsigned w = 1; w < config_.assoc; ++w) {
+        if (lines_[base + w].lastUse < oldest) {
+            oldest = lines_[base + w].lastUse;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    ++tick_;
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const std::size_t base = set * config_.assoc;
+
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = tick_;
+            line.dirty |= is_write;
+            hits_.inc();
+            return {true, false, false, 0};
+        }
+    }
+
+    misses_.inc();
+    CacheAccessResult res;
+    unsigned victim = pickVictim(set);
+    Line &line = lines_[base + victim];
+    if (line.valid) {
+        evictions_.inc();
+        res.victimValid = true;
+        res.victimDirty = line.dirty;
+        res.victimAddr = rebuildAddr(line.tag, set);
+        if (line.dirty)
+            writebacks_.inc();
+    }
+    line.valid = true;
+    line.dirty = is_write;
+    line.tag = tag;
+    line.lastUse = tick_;
+    return res;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const std::size_t base = set * config_.assoc;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr, bool &was_dirty)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const std::size_t base = set * config_.assoc;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag) {
+            was_dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            return true;
+        }
+    }
+    was_dirty = false;
+    return false;
+}
+
+} // namespace fpc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Generic functional set-associative SRAM cache.
+ *
+ * Used for the per-core L1D caches and the shared per-pod L2 (Table 3
+ * of the paper). Write-back, write-allocate, with LRU or random
+ * replacement. Purely functional: timing is applied by the system
+ * model (fixed load-to-use/hit latencies for SRAM structures).
+ */
+
+#ifndef FPC_CACHE_SET_ASSOC_CACHE_HH
+#define FPC_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fpc {
+
+/** Replacement policy selection for SetAssocCache. */
+enum class ReplPolicy : std::uint8_t
+{
+    Lru,
+    Random,
+};
+
+/** Result of a cache access or fill. */
+struct CacheAccessResult
+{
+    /** Did the access hit? */
+    bool hit = false;
+
+    /** Was a valid line evicted to make room? */
+    bool victimValid = false;
+
+    /** Was the evicted line dirty (needs writeback)? */
+    bool victimDirty = false;
+
+    /** Block-aligned address of the evicted line. */
+    Addr victimAddr = 0;
+};
+
+/**
+ * Functional set-associative cache over fixed-size blocks.
+ *
+ * Capacity, associativity and block size must be powers of two.
+ */
+class SetAssocCache
+{
+  public:
+    struct Config
+    {
+        std::uint64_t sizeBytes = 64 * 1024;
+        unsigned assoc = 4;
+        unsigned blockBytes = kBlockBytes;
+        ReplPolicy repl = ReplPolicy::Lru;
+        /** Seed for random replacement. */
+        std::uint64_t seed = 1;
+    };
+
+    SetAssocCache(const Config &config, std::string stat_name);
+
+    /**
+     * Look up @p addr; on miss, allocate (evicting per policy).
+     *
+     * @param addr byte address of the access.
+     * @param is_write marks the (possibly filled) line dirty.
+     * @return hit/miss and victim information.
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** Look up without allocating or updating recency. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Invalidate the line holding @p addr if present.
+     *
+     * @return true and set @p was_dirty if a line was invalidated.
+     */
+    bool invalidate(Addr addr, bool &was_dirty);
+
+    std::uint64_t numSets() const { return num_sets_; }
+    unsigned assoc() const { return config_.assoc; }
+    std::uint64_t sizeBytes() const { return config_.sizeBytes; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+
+    double
+    missRatio() const
+    {
+        std::uint64_t total = hits_.value() + misses_.value();
+        return total ? static_cast<double>(misses_.value()) / total
+                     : 0.0;
+    }
+
+    const StatGroup &stats() const { return stats_; }
+    void resetStats() { stats_.resetAll(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr rebuildAddr(Addr tag, std::uint64_t set) const;
+    unsigned pickVictim(std::uint64_t set);
+
+    Config config_;
+    std::uint64_t num_sets_;
+    unsigned block_shift_;
+    std::vector<Line> lines_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t rand_state_;
+
+    StatGroup stats_;
+    Counter hits_;
+    Counter misses_;
+    Counter evictions_;
+    Counter writebacks_;
+};
+
+} // namespace fpc
+
+#endif // FPC_CACHE_SET_ASSOC_CACHE_HH

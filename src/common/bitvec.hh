@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fixed-capacity block bitmap used for page footprints and the
+ * valid/dirty vectors of sub-blocked tag arrays.
+ *
+ * A page is at most 4KB = 64 blocks, so one 64-bit word suffices.
+ */
+
+#ifndef FPC_COMMON_BITVEC_HH
+#define FPC_COMMON_BITVEC_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace fpc {
+
+/**
+ * Bitmap over the blocks of one page. Bit i corresponds to the
+ * block at byte offset i*64 within the page.
+ */
+class BlockBitmap
+{
+  public:
+    constexpr BlockBitmap() = default;
+
+    constexpr explicit BlockBitmap(std::uint64_t raw) : bits_(raw) {}
+
+    /** Bitmap with bits [0, count) set. */
+    static constexpr BlockBitmap
+    firstN(unsigned count)
+    {
+        FPC_ASSERT(count <= 64);
+        if (count == 64)
+            return BlockBitmap(~std::uint64_t{0});
+        return BlockBitmap((std::uint64_t{1} << count) - 1);
+    }
+
+    /** Bitmap with exactly bit @p index set. */
+    static constexpr BlockBitmap
+    single(unsigned index)
+    {
+        FPC_ASSERT(index < 64);
+        return BlockBitmap(std::uint64_t{1} << index);
+    }
+
+    constexpr void
+    set(unsigned index)
+    {
+        FPC_ASSERT(index < 64);
+        bits_ |= std::uint64_t{1} << index;
+    }
+
+    constexpr void
+    clear(unsigned index)
+    {
+        FPC_ASSERT(index < 64);
+        bits_ &= ~(std::uint64_t{1} << index);
+    }
+
+    constexpr bool
+    test(unsigned index) const
+    {
+        FPC_ASSERT(index < 64);
+        return (bits_ >> index) & 1;
+    }
+
+    constexpr unsigned count() const { return std::popcount(bits_); }
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr std::uint64_t raw() const { return bits_; }
+    constexpr void reset() { bits_ = 0; }
+
+    /** Index of the lowest set bit; bitmap must be non-empty. */
+    constexpr unsigned
+    lowestSet() const
+    {
+        FPC_ASSERT(bits_ != 0);
+        return std::countr_zero(bits_);
+    }
+
+    constexpr BlockBitmap
+    operator|(BlockBitmap other) const
+    {
+        return BlockBitmap(bits_ | other.bits_);
+    }
+
+    constexpr BlockBitmap
+    operator&(BlockBitmap other) const
+    {
+        return BlockBitmap(bits_ & other.bits_);
+    }
+
+    /** Bits set in *this but not in @p other. */
+    constexpr BlockBitmap
+    minus(BlockBitmap other) const
+    {
+        return BlockBitmap(bits_ & ~other.bits_);
+    }
+
+    constexpr bool
+    operator==(const BlockBitmap &other) const = default;
+
+    constexpr BlockBitmap &
+    operator|=(BlockBitmap other)
+    {
+        bits_ |= other.bits_;
+        return *this;
+    }
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace fpc
+
+#endif // FPC_COMMON_BITVEC_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error-reporting helpers with gem5-style semantics.
+ *
+ * fatal() terminates because of a user/configuration error; panic()
+ * terminates because of an internal invariant violation (a bug);
+ * warn() reports suspicious but survivable conditions.
+ */
+
+#ifndef FPC_COMMON_LOGGING_HH
+#define FPC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fpc {
+
+/**
+ * Terminate with exit(1): the simulation cannot continue due to a
+ * condition that is the user's fault (bad configuration, invalid
+ * arguments), not a simulator bug.
+ */
+[[noreturn]] inline void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::fputs("fatal: ", stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+    std::exit(1);
+}
+
+/**
+ * Terminate with abort(): something happened that should never happen
+ * regardless of what the user does — an actual simulator bug.
+ */
+[[noreturn]] inline void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::fputs("panic: ", stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+    std::abort();
+}
+
+/** Report a survivable but suspicious condition. */
+inline void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::fputs("warn: ", stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+}
+
+} // namespace fpc
+
+/** Assert an internal invariant; active in all build types. */
+#define FPC_ASSERT(cond, ...)                                         \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::fpc::panic("assertion '%s' failed at %s:%d",            \
+                         #cond, __FILE__, __LINE__);                  \
+        }                                                             \
+    } while (0)
+
+#endif // FPC_COMMON_LOGGING_HH

@@ -1,0 +1,64 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace fpc {
+
+const Counter *
+StatGroup::findCounter(const std::string &name) const
+{
+    for (const auto &e : counters_) {
+        if (e.name == name)
+            return e.stat;
+    }
+    return nullptr;
+}
+
+const Accum *
+StatGroup::findAccum(const std::string &name) const
+{
+    for (const auto &e : accums_) {
+        if (e.name == name)
+            return e.stat;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : counters_) {
+        os << name_ << '.' << e.name << ' ' << e.stat->value()
+           << "  # " << e.desc << '\n';
+    }
+    for (const auto &e : accums_) {
+        os << name_ << '.' << e.name << ' ' << std::setprecision(6)
+           << e.stat->value() << "  # " << e.desc << '\n';
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &e : counters_)
+        e.stat->reset();
+    for (auto &e : accums_)
+        e.stat->reset();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    FPC_ASSERT(!values.empty());
+    double log_sum = 0.0;
+    for (double v : values) {
+        FPC_ASSERT(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace fpc

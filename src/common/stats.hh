@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Lightweight statistics package: named counters, scalar values and
+ * histograms grouped into a StatGroup, dumpable to any ostream.
+ *
+ * Modeled after gem5's Stats package in spirit, but minimal: every
+ * simulator component owns a StatGroup and registers its statistics
+ * at construction; experiment harnesses read values by name or via
+ * direct accessors.
+ */
+
+#ifndef FPC_COMMON_STATS_HH
+#define FPC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fpc {
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        value_ += n;
+        return *this;
+    }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** An accumulating floating-point quantity (e.g., energy in nJ). */
+class Accum
+{
+  public:
+    Accum() = default;
+
+    void add(double v) { value_ += v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Histogram with fixed-width linear buckets plus an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::uint64_t bucket_width, unsigned num_buckets)
+        : width_(bucket_width ? bucket_width : 1),
+          counts_(num_buckets + 1, 0)
+    {
+    }
+
+    void
+    sample(std::uint64_t value, std::uint64_t weight = 1)
+    {
+        std::uint64_t idx = value / width_;
+        if (idx >= counts_.size() - 1)
+            idx = counts_.size() - 1;
+        counts_[idx] += weight;
+        total_ += weight;
+        sum_ += value * weight;
+    }
+
+    std::uint64_t totalSamples() const { return total_; }
+    std::uint64_t bucket(unsigned i) const { return counts_[i]; }
+    unsigned numBuckets() const { return counts_.size(); }
+    std::uint64_t bucketWidth() const { return width_; }
+
+    double
+    mean() const
+    {
+        return total_ ? static_cast<double>(sum_) / total_ : 0.0;
+    }
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        total_ = 0;
+        sum_ = 0;
+    }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * A named collection of statistics owned by one component.
+ *
+ * Registration stores non-owning pointers: the registered objects
+ * must outlive the group (they are members of the same component).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    void
+    regCounter(Counter *c, std::string name, std::string desc)
+    {
+        counters_.push_back({c, std::move(name), std::move(desc)});
+    }
+
+    void
+    regAccum(Accum *a, std::string name, std::string desc)
+    {
+        accums_.push_back({a, std::move(name), std::move(desc)});
+    }
+
+    /** Find a counter by name; returns nullptr when absent. */
+    const Counter *findCounter(const std::string &name) const;
+
+    /** Find an accumulator by name; returns nullptr when absent. */
+    const Accum *findAccum(const std::string &name) const;
+
+    /** Write "group.name value  # desc" lines for all stats. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered statistic. */
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    template <typename T>
+    struct Entry
+    {
+        T *stat;
+        std::string name;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<Entry<Counter>> counters_;
+    std::vector<Entry<Accum>> accums_;
+};
+
+/** Geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace fpc
+
+#endif // FPC_COMMON_STATS_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fundamental types and constants shared by every module.
+ *
+ * The library simulates a 16-core scale-out pod with a die-stacked
+ * DRAM cache (ISCA'13 Footprint Cache). All addresses are physical
+ * byte addresses; all times are CPU cycles at the core clock.
+ */
+
+#ifndef FPC_COMMON_TYPES_HH
+#define FPC_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace fpc {
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Time in CPU cycles (3GHz core clock by default). */
+using Cycle = std::uint64_t;
+
+/** Program counter of the instruction issuing a memory access. */
+using Pc = std::uint64_t;
+
+/** Cache block size used throughout the hierarchy (bytes). */
+constexpr unsigned kBlockBytes = 64;
+
+/** log2(kBlockBytes). */
+constexpr unsigned kBlockShift = 6;
+
+/** Largest supported DRAM-cache page (bytes): 64 blocks fit a u64. */
+constexpr unsigned kMaxPageBytes = 4096;
+
+/** Blocks per page at the largest supported page size. */
+constexpr unsigned kMaxBlocksPerPage = kMaxPageBytes / kBlockBytes;
+
+/** Kind of memory operation observed by the hierarchy. */
+enum class MemOp : std::uint8_t {
+    Read,
+    Write,
+};
+
+/** Return the block-aligned address containing @p addr. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kBlockBytes - 1);
+}
+
+/** Return the block number (address / 64). */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace fpc
+
+#endif // FPC_COMMON_TYPES_HH

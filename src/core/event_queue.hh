@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A minimal discrete-event queue.
+ *
+ * The pod simulator schedules core agents by next-ready cycle; this
+ * queue provides the deterministic time-ordered dispatch (ties
+ * broken by insertion sequence, so runs are reproducible).
+ */
+
+#ifndef FPC_CORE_EVENT_QUEUE_HH
+#define FPC_CORE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fpc {
+
+/** Time-ordered queue of (cycle, payload) events. */
+template <typename Payload>
+class EventQueue
+{
+  public:
+    /** Schedule @p payload at @p when. */
+    void
+    schedule(Cycle when, Payload payload)
+    {
+        heap_.push(Item{when, seq_++, payload});
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    Cycle nextTime() const { return heap_.top().when; }
+    const Payload &nextPayload() const { return heap_.top().payload; }
+
+    /** Remove and return the earliest event. */
+    std::pair<Cycle, Payload>
+    pop()
+    {
+        Item item = heap_.top();
+        heap_.pop();
+        return {item.when, item.payload};
+    }
+
+  private:
+    struct Item
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Payload payload;
+
+        bool
+        operator>(const Item &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, std::greater<>>
+        heap_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace fpc
+
+#endif // FPC_CORE_EVENT_QUEUE_HH

@@ -1,0 +1,170 @@
+#include "dram/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fpc {
+
+DramSystem::Config
+DramSystem::Config::offchipPod()
+{
+    Config cfg;
+    cfg.timing = DramTimingParams::ddr3_1600_offchip();
+    // 16-32GB per pod (Table 3) implies at least two ranks on the
+    // channel: 16 banks of scheduling headroom.
+    cfg.timing.numBanks = 16;
+    cfg.energy = DramEnergyParams::offchipDdr3();
+    cfg.numChannels = 1;
+    cfg.interleaveBytes = kBlockBytes;
+    cfg.name = "offchip";
+    return cfg;
+}
+
+DramSystem::Config
+DramSystem::Config::stackedPod()
+{
+    Config cfg;
+    cfg.timing = DramTimingParams::ddr3_3200_stacked();
+    cfg.energy = DramEnergyParams::stackedDram();
+    cfg.numChannels = 4;
+    cfg.interleaveBytes = 2048;
+    cfg.name = "stacked";
+    return cfg;
+}
+
+DramSystem::DramSystem(const Config &config) : config_(config)
+{
+    FPC_ASSERT(config_.numChannels > 0);
+    FPC_ASSERT(isPowerOf2(config_.interleaveBytes));
+    FPC_ASSERT(config_.interleaveBytes >= kBlockBytes);
+    for (unsigned c = 0; c < config_.numChannels; ++c) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            config_.timing, config_.energy,
+            config_.name + ".ch" + std::to_string(c)));
+    }
+}
+
+unsigned
+DramSystem::channelOf(Addr addr) const
+{
+    return static_cast<unsigned>(
+        (addr / config_.interleaveBytes) % channels_.size());
+}
+
+Addr
+DramSystem::localAddr(Addr addr) const
+{
+    const Addr chunk = addr / config_.interleaveBytes;
+    const Addr offset = addr % config_.interleaveBytes;
+    return (chunk / channels_.size()) * config_.interleaveBytes +
+           offset;
+}
+
+DramAccessResult
+DramSystem::access(Cycle when, Addr addr, bool is_write,
+                   unsigned num_blocks)
+{
+    FPC_ASSERT(num_blocks > 0);
+    addr = blockAlign(addr);
+
+    DramAccessResult agg;
+    agg.firstBlockReady = 0;
+    agg.done = 0;
+    bool first = true;
+
+    unsigned remaining = num_blocks;
+    while (remaining > 0) {
+        const unsigned blocks_per_chunk =
+            config_.interleaveBytes / kBlockBytes;
+        const unsigned block_in_chunk = static_cast<unsigned>(
+            (addr % config_.interleaveBytes) / kBlockBytes);
+        const unsigned chunk =
+            std::min(remaining, blocks_per_chunk - block_in_chunk);
+
+        DramChannel &ch = *channels_[channelOf(addr)];
+        DramAccessResult r =
+            ch.access(when, localAddr(addr), is_write, chunk);
+        if (first) {
+            agg.firstBlockReady = r.firstBlockReady;
+            agg.rowHit = r.rowHit;
+            first = false;
+        }
+        agg.done = std::max(agg.done, r.done);
+        remaining -= chunk;
+        addr += static_cast<Addr>(chunk) * kBlockBytes;
+    }
+    return agg;
+}
+
+DramAccessResult
+DramSystem::compoundAccess(Cycle when, Addr addr, bool is_write)
+{
+    DramChannel &ch = *channels_[channelOf(addr)];
+    return ch.compoundAccess(when, localAddr(addr), is_write);
+}
+
+std::uint64_t
+DramSystem::totalActivates() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_)
+        total += ch->activates();
+    return total;
+}
+
+std::uint64_t
+DramSystem::totalRowHits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_)
+        total += ch->rowHits();
+    return total;
+}
+
+std::uint64_t
+DramSystem::totalBlocksRead() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_)
+        total += ch->blocksRead();
+    return total;
+}
+
+std::uint64_t
+DramSystem::totalBlocksWritten() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_)
+        total += ch->blocksWritten();
+    return total;
+}
+
+std::uint64_t
+DramSystem::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_)
+        total += ch->bytesTransferred();
+    return total;
+}
+
+double
+DramSystem::totalActPreEnergyNj() const
+{
+    double total = 0.0;
+    for (const auto &ch : channels_)
+        total += ch->actPreEnergyNj();
+    return total;
+}
+
+double
+DramSystem::totalBurstEnergyNj() const
+{
+    double total = 0.0;
+    for (const auto &ch : channels_)
+        total += ch->burstEnergyNj();
+    return total;
+}
+
+} // namespace fpc

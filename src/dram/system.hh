@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A multi-channel DRAM system (off-chip memory or the stacked
+ * DRAM of one pod) with address interleaving across channels.
+ *
+ * Table 3: off-chip is one DDR3-1600 channel per pod with 64B
+ * interleaving (when more than one channel is configured); stacked
+ * DRAM is four DDR3-3200 channels per pod with 2KB (page)
+ * interleaving (§5.2).
+ */
+
+#ifndef FPC_DRAM_SYSTEM_HH
+#define FPC_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/channel.hh"
+
+namespace fpc {
+
+/** Channels + interleaving + aggregate statistics. */
+class DramSystem
+{
+  public:
+    struct Config
+    {
+        DramTimingParams timing;
+        DramEnergyParams energy;
+        unsigned numChannels = 1;
+        /** Consecutive-address interleave granularity (bytes). */
+        unsigned interleaveBytes = kBlockBytes;
+        std::string name = "dram";
+
+        /** One off-chip DDR3-1600 channel per pod (Table 3). */
+        static Config offchipPod();
+
+        /** Four stacked DDR3-3200 channels, 2KB interleave. */
+        static Config stackedPod();
+    };
+
+    explicit DramSystem(const Config &config);
+
+    /**
+     * Access @p num_blocks consecutive blocks starting at @p addr.
+     *
+     * Bursts are split at interleave boundaries and routed to the
+     * owning channels; the result aggregates the earliest critical
+     * block time and the latest completion.
+     */
+    DramAccessResult access(Cycle when, Addr addr, bool is_write,
+                            unsigned num_blocks = 1);
+
+    /**
+     * Compound (tags-in-DRAM) access for the block-based design;
+     * the whole set lives in one row on one channel.
+     */
+    DramAccessResult compoundAccess(Cycle when, Addr addr,
+                                    bool is_write);
+
+    unsigned numChannels() const { return channels_.size(); }
+    DramChannel &channel(unsigned i) { return *channels_[i]; }
+    const DramChannel &channel(unsigned i) const
+    {
+        return *channels_[i];
+    }
+
+    /** Aggregates across channels. */
+    std::uint64_t totalActivates() const;
+    std::uint64_t totalRowHits() const;
+    std::uint64_t totalBlocksRead() const;
+    std::uint64_t totalBlocksWritten() const;
+    std::uint64_t totalBytes() const;
+    double totalActPreEnergyNj() const;
+    double totalBurstEnergyNj() const;
+
+    double
+    peakBandwidthGBps() const
+    {
+        return config_.timing.peakBandwidthGBps() * numChannels();
+    }
+
+    const Config &config() const { return config_; }
+
+  private:
+    /** Channel owning @p addr. */
+    unsigned channelOf(Addr addr) const;
+
+    /** Channel-local address (channel bits squeezed out). */
+    Addr localAddr(Addr addr) const;
+
+    Config config_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+};
+
+} // namespace fpc
+
+#endif // FPC_DRAM_SYSTEM_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Block-based DRAM cache (§5.2), modeled after Loh & Hill's
+ * compound-access-scheduling design with MissMap [24], with the
+ * paper's optimizations: 30 data blocks + 2 tag blocks per 2KB
+ * row (30-way sets, tags co-located with data in the same DRAM
+ * row), and a MissMap that filters misses before any DRAM access.
+ *
+ * A hit costs one row activation plus a tag-read CAS, a one-cycle
+ * tag check and a data CAS (the tag-update CAS is taken off the
+ * critical path). Both DRAMs run close-page policy with 64B
+ * channel interleaving (§5.2).
+ */
+
+#ifndef FPC_DRAMCACHE_BLOCK_CACHE_HH
+#define FPC_DRAMCACHE_BLOCK_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dram/system.hh"
+#include "dramcache/interface.hh"
+#include "dramcache/missmap.hh"
+
+namespace fpc {
+
+/** Loh-Hill style block-based DRAM cache. */
+class BlockCache : public MemorySystem
+{
+  public:
+    struct Config
+    {
+        /** Nominal capacity (rows × 2KB, tags included). */
+        std::uint64_t capacityBytes = 256ULL << 20;
+
+        /** DRAM row size; one set occupies one row. */
+        unsigned rowBytes = 2048;
+
+        /** Data blocks per row (paper: 30 of 32). */
+        unsigned dataBlocksPerRow = 30;
+
+        MissMap::Config missMap;
+
+        /** MissMap lookup latency in cycles (Table 4). */
+        Cycle missMapLatencyCycles = 9;
+
+        /** Allocate blocks on LLC writebacks. */
+        bool allocateOnWriteback = true;
+
+        std::string name = "block";
+    };
+
+    BlockCache(const Config &config, DramSystem &stacked,
+               DramSystem &offchip);
+
+    MemSystemResult access(Cycle now, const MemRequest &req) override;
+    void writeback(Cycle now, Addr block_addr) override;
+
+    std::string designName() const override { return config_.name; }
+
+    std::uint64_t
+    demandAccesses() const override
+    {
+        return demand_accesses_.value();
+    }
+
+    std::uint64_t
+    demandHits() const override
+    {
+        return hits_.value();
+    }
+
+    std::uint64_t missMapEvictions() const
+    {
+        return mm_evictions_.value();
+    }
+    std::uint64_t missMapFlushedBlocks() const
+    {
+        return mm_flushed_.value();
+    }
+    std::uint64_t dirtyBlockEvictions() const
+    {
+        return dirty_evictions_.value();
+    }
+
+    /** Data capacity excluding in-row tags. */
+    std::uint64_t
+    dataCapacityBytes() const
+    {
+        return num_sets_ * config_.dataBlocksPerRow * kBlockBytes;
+    }
+
+    MissMap &missMap() { return missmap_; }
+    const Config &config() const { return config_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct Way
+    {
+        Addr blockId = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t
+    setOf(Addr block_addr) const
+    {
+        return blockNumber(block_addr) % num_sets_;
+    }
+
+    /** Stacked-DRAM address of set @p set's row. */
+    Addr
+    rowAddr(std::uint64_t set) const
+    {
+        return set * config_.rowBytes;
+    }
+
+    Way *findWay(Addr block_addr, bool touch);
+
+    /** Install @p block_addr into its set; evicts LRU if needed. */
+    void fillBlock(Cycle when, Addr block_addr, bool dirty);
+
+    /** Evict one way (victim handling + MissMap bit clear). */
+    void evictWay(Cycle when, std::uint64_t set, Way &way);
+
+    /** Flush every cached block of a displaced MissMap segment. */
+    void flushSegment(Cycle when, const MissMap::Victim &victim);
+
+    Config config_;
+    DramSystem &stacked_;
+    DramSystem &offchip_;
+    MissMap missmap_;
+    std::uint64_t num_sets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Way> ways_;
+
+    StatGroup stats_;
+    Counter demand_accesses_;
+    Counter hits_;
+    Counter misses_;
+    Counter dirty_evictions_;
+    Counter mm_evictions_;
+    Counter mm_flushed_;
+    Counter wb_hits_;
+    Counter wb_misses_;
+};
+
+} // namespace fpc
+
+#endif // FPC_DRAMCACHE_BLOCK_CACHE_HH

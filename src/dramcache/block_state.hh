@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The block-state encoding of Table 2.
+ *
+ * Footprint Cache distinguishes blocks that were *demanded* by a
+ * core from blocks that are present only because the predictor
+ * fetched them, without extra storage, by reusing the (dirty,
+ * valid) bit pair: a block cannot be dirty unless it was demanded,
+ * so the four encodings are
+ *
+ *   dirty valid   state
+ *     0     0     not in the cache
+ *     0     1     valid, clean, not demanded yet
+ *     1     0     valid, clean, was demanded
+ *     1     1     valid, dirty, was demanded
+ *
+ * The "dirty" column doubles as the demanded bit vector that is
+ * sent to the FHT on eviction (§4.3).
+ */
+
+#ifndef FPC_DRAMCACHE_BLOCK_STATE_HH
+#define FPC_DRAMCACHE_BLOCK_STATE_HH
+
+#include <cstdint>
+
+#include "common/bitvec.hh"
+
+namespace fpc {
+
+/** Logical state of one block within a cached page. */
+enum class BlockState : std::uint8_t
+{
+    NotPresent = 0b00,
+    ValidCleanPredicted = 0b01,
+    ValidCleanDemanded = 0b10,
+    ValidDirtyDemanded = 0b11,
+};
+
+/** Encode (dirty, valid) hardware bits into a BlockState. */
+constexpr BlockState
+encodeBlockState(bool dirty_bit, bool valid_bit)
+{
+    return static_cast<BlockState>((dirty_bit ? 2 : 0) |
+                                   (valid_bit ? 1 : 0));
+}
+
+/** Is the block present in the cache? */
+constexpr bool
+blockStateValid(BlockState s)
+{
+    return s != BlockState::NotPresent;
+}
+
+/** Was the block demanded by a core during this residency? */
+constexpr bool
+blockStateDemanded(BlockState s)
+{
+    return s == BlockState::ValidCleanDemanded ||
+           s == BlockState::ValidDirtyDemanded;
+}
+
+/** Does the block hold modified data that must be written back? */
+constexpr bool
+blockStateDirty(BlockState s)
+{
+    return s == BlockState::ValidDirtyDemanded;
+}
+
+/**
+ * Hardware view of one page's block states: the two physical bit
+ * vectors of Table 2 plus state-transition helpers. The class
+ * enforces the encoding invariants (a dirty-data block is always
+ * demanded; a demanded block is always present).
+ */
+class PageBlockStates
+{
+  public:
+    PageBlockStates() = default;
+
+    /** State of block @p index. */
+    BlockState
+    state(unsigned index) const
+    {
+        return encodeBlockState(dirty_.test(index),
+                                valid_.test(index));
+    }
+
+    bool present(unsigned index) const
+    {
+        return blockStateValid(state(index));
+    }
+
+    bool demanded(unsigned index) const
+    {
+        return blockStateDemanded(state(index));
+    }
+
+    bool dirtyData(unsigned index) const
+    {
+        return blockStateDirty(state(index));
+    }
+
+    /** Install a predictor-fetched (not yet demanded) block. */
+    void
+    fillPredicted(unsigned index)
+    {
+        dirty_.clear(index);
+        valid_.set(index);
+    }
+
+    /** Install a block that is being demanded right now. */
+    void
+    fillDemanded(unsigned index)
+    {
+        dirty_.set(index);
+        valid_.clear(index);
+    }
+
+    /** A core demanded a present block (clean read/fetch). */
+    void
+    markDemanded(unsigned index)
+    {
+        FPC_ASSERT(present(index));
+        if (state(index) == BlockState::ValidCleanPredicted) {
+            // 01 -> 10.
+            dirty_.set(index);
+            valid_.clear(index);
+        }
+    }
+
+    /** A dirty writeback arrived for a present block. */
+    void
+    markDirtyData(unsigned index)
+    {
+        FPC_ASSERT(present(index));
+        // Any present state -> 11.
+        dirty_.set(index);
+        valid_.set(index);
+    }
+
+    /** Blocks present in the cache (any valid state). */
+    BlockBitmap
+    presentMap() const
+    {
+        return dirty_ | valid_;
+    }
+
+    /**
+     * The demanded bit vector (the page's footprint) sent to the
+     * FHT on eviction: exactly the high-order (dirty) bits.
+     */
+    BlockBitmap
+    demandedMap() const
+    {
+        return dirty_;
+    }
+
+    /** Blocks whose data is modified and needs writeback. */
+    BlockBitmap
+    dirtyDataMap() const
+    {
+        return dirty_ & valid_;
+    }
+
+    /** Present but never demanded (overpredicted) blocks. */
+    BlockBitmap
+    overpredictedMap() const
+    {
+        return presentMap().minus(demandedMap());
+    }
+
+    void
+    reset()
+    {
+        dirty_.reset();
+        valid_.reset();
+    }
+
+    /** Raw physical vectors (for tests and storage accounting). */
+    BlockBitmap rawDirtyBits() const { return dirty_; }
+    BlockBitmap rawValidBits() const { return valid_; }
+
+  private:
+    BlockBitmap dirty_;
+    BlockBitmap valid_;
+};
+
+} // namespace fpc
+
+#endif // FPC_DRAMCACHE_BLOCK_STATE_HH

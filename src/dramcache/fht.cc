@@ -1,0 +1,155 @@
+#include "dramcache/fht.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpc {
+
+FootprintHistoryTable::FootprintHistoryTable(const Config &config)
+    : config_(config)
+{
+    FPC_ASSERT(config_.entries > 0 && config_.assoc > 0);
+    FPC_ASSERT(config_.entries % config_.assoc == 0);
+    sets_ = config_.entries / config_.assoc;
+    FPC_ASSERT(isPowerOf2(sets_));
+    entries_.resize(config_.entries);
+
+    stats_.regCounter(&hits_, "hits", "predictions served");
+    stats_.regCounter(&misses_, "misses", "keys not found");
+    stats_.regCounter(&evictions_, "evictions",
+                      "entries evicted by allocation");
+    stats_.regCounter(&stale_, "stale_updates",
+                      "feedback dropped on generation mismatch");
+}
+
+std::uint64_t
+FootprintHistoryTable::makeKey(Pc pc, unsigned offset) const
+{
+    switch (config_.index) {
+      case PredictorIndex::PcOffset:
+        return (pc << 6) ^ offset;
+      case PredictorIndex::PcOnly:
+        return pc;
+      case PredictorIndex::OffsetOnly:
+        return offset + 1;
+    }
+    panic("bad predictor index mode");
+}
+
+std::uint32_t
+FootprintHistoryTable::setOf(std::uint64_t key) const
+{
+    return static_cast<std::uint32_t>(mix64(key) & (sets_ - 1));
+}
+
+FootprintHistoryTable::LookupResult
+FootprintHistoryTable::lookupOrAllocate(Pc pc, unsigned offset)
+{
+    const std::uint64_t key = makeKey(pc, offset);
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(key)) * config_.assoc;
+
+    LookupResult res;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.key == key) {
+            e.lastUse = ++tick_;
+            hits_.inc();
+            res.hit = true;
+            res.trained = e.trained;
+            res.footprint = e.footprint;
+            res.ref = FhtRef{setOf(key), w, e.gen, true};
+            return res;
+        }
+    }
+
+    misses_.inc();
+    // Allocate: prefer an invalid way, else LRU.
+    unsigned way = 0;
+    bool found_invalid = false;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Entry &e = entries_[base + w];
+        if (!e.valid) {
+            way = w;
+            found_invalid = true;
+            break;
+        }
+        if (e.lastUse < oldest) {
+            oldest = e.lastUse;
+            way = w;
+        }
+    }
+    Entry &e = entries_[base + way];
+    if (!found_invalid)
+        evictions_.inc();
+    e.key = key;
+    e.valid = true;
+    e.trained = false;
+    e.lastUse = ++tick_;
+    // A fresh key predicts only the block being demanded now.
+    e.footprint = BlockBitmap::single(offset);
+    ++e.gen;
+
+    res.hit = false;
+    res.footprint = e.footprint;
+    res.ref = FhtRef{setOf(key), way, e.gen, true};
+    return res;
+}
+
+FootprintHistoryTable::LookupResult
+FootprintHistoryTable::peek(Pc pc, unsigned offset) const
+{
+    const std::uint64_t key = makeKey(pc, offset);
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(key)) * config_.assoc;
+    LookupResult res;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        const Entry &e = entries_[base + w];
+        if (e.valid && e.key == key) {
+            res.hit = true;
+            res.trained = e.trained;
+            res.footprint = e.footprint;
+            res.ref = FhtRef{setOf(key), w, e.gen, true};
+            return res;
+        }
+    }
+    return res;
+}
+
+void
+FootprintHistoryTable::update(const FhtRef &ref, BlockBitmap demanded)
+{
+    if (!ref.valid)
+        return;
+    FPC_ASSERT(ref.set < sets_ && ref.way < config_.assoc);
+    Entry &e = entries_[static_cast<std::size_t>(ref.set) *
+                            config_.assoc +
+                        ref.way];
+    if (!e.valid || e.gen != ref.gen) {
+        // Stale pointer: the entry was re-allocated since the page
+        // was filled (§4.2: rare, harmless to drop).
+        stale_.inc();
+        return;
+    }
+    if (demanded.empty())
+        return;
+    e.trained = true;
+    if (config_.train == FhtTrain::Replace)
+        e.footprint = demanded;
+    else
+        e.footprint |= demanded;
+}
+
+std::uint64_t
+FootprintHistoryTable::storageBits(unsigned blocks_per_page) const
+{
+    // Tag (hashed key signature) + footprint vector + LRU + valid.
+    const unsigned tag_bits = 30;
+    const unsigned lru_bits = floorLog2(config_.assoc) + 1;
+    const std::uint64_t per_entry =
+        tag_bits + blocks_per_page + lru_bits + 1;
+    return per_entry * config_.entries;
+}
+
+} // namespace fpc

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Footprint History Table (§4.2).
+ *
+ * Set-associative SRAM structure indexed by a hash of the
+ * (PC, offset) pair of the instruction that triggered a page miss.
+ * Each entry stores the footprint (demanded-block bit vector) last
+ * generated under that key. Entries are trained by eviction
+ * feedback delivered through generation-checked pointers stored in
+ * the tag array, so stale pointers (after an FHT eviction) are
+ * detected and dropped rather than corrupting another key's state.
+ */
+
+#ifndef FPC_DRAMCACHE_FHT_HH
+#define FPC_DRAMCACHE_FHT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dramcache/page_tag_array.hh"
+
+namespace fpc {
+
+/** How the predictor key is formed (§3.1 and the §8 ablation). */
+enum class PredictorIndex : std::uint8_t
+{
+    /** PC & offset: the paper's design point. */
+    PcOffset,
+    /** PC only: breaks under data-structure misalignment. */
+    PcOnly,
+    /** Offset only: conflates unrelated code. */
+    OffsetOnly,
+};
+
+/** How eviction feedback trains an entry. */
+enum class FhtTrain : std::uint8_t
+{
+    /** Replace with the most recent footprint (§4.2). */
+    Replace,
+    /** Accumulate (union) footprints across residencies. */
+    Union,
+};
+
+/** The Footprint History Table. */
+class FootprintHistoryTable
+{
+  public:
+    struct Config
+    {
+        /** Total entries (paper default: 16K = 144KB SRAM). */
+        std::uint32_t entries = 16 * 1024;
+        std::uint32_t assoc = 8;
+        PredictorIndex index = PredictorIndex::PcOffset;
+        FhtTrain train = FhtTrain::Replace;
+    };
+
+    explicit FootprintHistoryTable(const Config &config);
+
+    struct LookupResult
+    {
+        /** Was the key present (prediction available)? */
+        bool hit = false;
+
+        /**
+         * Has the entry received eviction feedback at least once?
+         * Singleton classification (§4.4) requires a trained
+         * one-block footprint; a freshly allocated entry predicts
+         * only its triggering block and must not be mistaken for
+         * a learned singleton.
+         */
+        bool trained = false;
+
+        /** Predicted footprint (meaningful when hit). */
+        BlockBitmap footprint;
+
+        /** Pointer for eviction feedback. */
+        FhtRef ref;
+    };
+
+    /**
+     * Query the table for the key (pc, offset); on a miss,
+     * allocate a fresh entry (evicting LRU) whose footprint is
+     * just the triggering block.
+     */
+    LookupResult lookupOrAllocate(Pc pc, unsigned offset);
+
+    /** Query without allocating (analysis only). */
+    LookupResult peek(Pc pc, unsigned offset) const;
+
+    /**
+     * Deliver eviction feedback: the demanded vector observed
+     * during the page's residency. Dropped silently when @p ref
+     * is stale (generation mismatch) or invalid.
+     */
+    void update(const FhtRef &ref, BlockBitmap demanded);
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+    std::uint64_t staleUpdates() const { return stale_.value(); }
+
+    /** SRAM footprint of the structure in bits (§6.4: 144KB). */
+    std::uint64_t storageBits(unsigned blocks_per_page) const;
+
+    std::uint32_t numEntries() const { return config_.entries; }
+    const Config &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        BlockBitmap footprint;
+        std::uint64_t lastUse = 0;
+        std::uint32_t gen = 0;
+        bool valid = false;
+        bool trained = false;
+    };
+
+    std::uint64_t makeKey(Pc pc, unsigned offset) const;
+    std::uint32_t setOf(std::uint64_t key) const;
+
+    Config config_;
+    std::uint32_t sets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Entry> entries_;
+
+    StatGroup stats_{"fht"};
+    Counter hits_;
+    Counter misses_;
+    Counter evictions_;
+    Counter stale_;
+};
+
+} // namespace fpc
+
+#endif // FPC_DRAMCACHE_FHT_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Footprint Cache (§3, §4) — the paper's primary contribution —
+ * plus, via fetch-policy selection, the conventional page-based
+ * design (fetch the whole page) and the sub-blocked design (fetch
+ * only on demand) used as comparison points and ablations.
+ *
+ * The cache allocates at page granularity, fetches the predicted
+ * footprint of the page on a triggering miss, tracks demanded
+ * blocks with the Table 2 encoding, trains the FHT with the
+ * demanded vector on eviction, and (optionally) bypasses singleton
+ * pages around the cache with ST-based misclassification recovery.
+ */
+
+#ifndef FPC_DRAMCACHE_FOOTPRINT_CACHE_HH
+#define FPC_DRAMCACHE_FOOTPRINT_CACHE_HH
+
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "dram/system.hh"
+#include "dramcache/fht.hh"
+#include "dramcache/interface.hh"
+#include "dramcache/page_tag_array.hh"
+#include "dramcache/singleton_table.hh"
+
+namespace fpc {
+
+/** What is fetched when a page miss allocates a frame. */
+enum class FetchPolicy : std::uint8_t
+{
+    /** The FHT-predicted footprint (Footprint Cache). */
+    Predictor,
+    /** Every block of the page (page-based design). */
+    FullPage,
+    /** Only the demanded block (sub-blocked design, §3.1). */
+    DemandOnly,
+};
+
+/** Footprint Cache and its page-granularity relatives. */
+class FootprintCache : public MemorySystem
+{
+  public:
+    struct Config
+    {
+        PageTagArray::Config tags;
+        FootprintHistoryTable::Config fht;
+        SingletonTable::Config st;
+
+        /** SRAM tag lookup latency in cycles (Table 4). */
+        Cycle tagLatencyCycles = 9;
+
+        FetchPolicy fetch = FetchPolicy::Predictor;
+
+        /** Enable the §4.4 singleton-page capacity optimization. */
+        bool singletonOptimization = true;
+
+        std::string name = "footprint";
+    };
+
+    /**
+     * @param stacked die-stacked DRAM holding the cached data.
+     * @param offchip off-chip main memory.
+     */
+    FootprintCache(const Config &config, DramSystem &stacked,
+                   DramSystem &offchip);
+
+    MemSystemResult access(Cycle now, const MemRequest &req) override;
+    void writeback(Cycle now, Addr block_addr) override;
+
+    std::string designName() const override { return config_.name; }
+
+    std::uint64_t
+    demandAccesses() const override
+    {
+        return demand_accesses_.value();
+    }
+
+    std::uint64_t
+    demandHits() const override
+    {
+        return block_hits_.value();
+    }
+
+    /**
+     * Account pages still resident at the end of a run into the
+     * eviction-time statistics (density and predictor accuracy)
+     * without timing side effects. Call once, after the run.
+     */
+    void finalizeResidency();
+
+    /* Component access for tests and analyses. */
+    PageTagArray &tags() { return tags_; }
+    FootprintHistoryTable &fht() { return fht_; }
+    SingletonTable &singletonTable() { return st_; }
+    const Config &config() const { return config_; }
+
+    /* Detailed statistics. */
+    std::uint64_t triggeringMisses() const
+    {
+        return trig_misses_.value();
+    }
+    std::uint64_t underpredictionMisses() const
+    {
+        return underpred_misses_.value();
+    }
+    std::uint64_t singletonBypasses() const
+    {
+        return singleton_bypass_.value();
+    }
+    std::uint64_t singletonRecoveries() const
+    {
+        return singleton_recover_.value();
+    }
+    std::uint64_t pageEvictions() const
+    {
+        return page_evictions_.value();
+    }
+    std::uint64_t dirtyPageEvictions() const
+    {
+        return dirty_evictions_.value();
+    }
+    std::uint64_t blocksFetched() const
+    {
+        return blocks_fetched_.value();
+    }
+
+    /** Predictor accuracy tallies (Figure 8). */
+    std::uint64_t coveredBlocks() const { return covered_.value(); }
+    std::uint64_t underpredictedBlocks() const
+    {
+        return underpred_blocks_.value();
+    }
+    std::uint64_t overpredictedBlocks() const
+    {
+        return overpred_blocks_.value();
+    }
+
+    /** Page-density histogram at eviction (Figure 4). */
+    const Histogram &densityHistogram() const { return density_; }
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    unsigned
+    offsetOf(Addr paddr) const
+    {
+        return static_cast<unsigned>(
+            (paddr % config_.tags.pageBytes) / kBlockBytes);
+    }
+
+    Addr
+    pageIdOf(Addr paddr) const
+    {
+        return paddr / config_.tags.pageBytes;
+    }
+
+    Addr
+    pageStartOf(Addr paddr) const
+    {
+        return pageIdOf(paddr) * config_.tags.pageBytes;
+    }
+
+    /** Predicted footprint for a triggering miss. */
+    BlockBitmap predictFootprint(const MemRequest &req,
+                                 unsigned offset, FhtRef &ref_out,
+                                 bool &fht_trained);
+
+    /** Evict @p victim at time @p when (feedback + writeback). */
+    void evictPage(const PageTagArray::Victim &victim, Cycle when);
+
+    /** Account one ended residency into the accuracy stats. */
+    void accountResidency(const PageBlockStates &blocks,
+                          BlockBitmap predicted);
+
+    /** Allocate + fill a page; returns critical-block time. */
+    Cycle allocateAndFill(Cycle when, const MemRequest &req,
+                          unsigned offset, BlockBitmap predicted,
+                          const FhtRef &ref);
+
+    Config config_;
+    DramSystem &stacked_;
+    DramSystem &offchip_;
+    PageTagArray tags_;
+    FootprintHistoryTable fht_;
+    SingletonTable st_;
+
+    StatGroup stats_;
+    Counter demand_accesses_;
+    Counter block_hits_;
+    Counter trig_misses_;
+    Counter underpred_misses_;
+    Counter singleton_bypass_;
+    Counter singleton_recover_;
+    Counter page_evictions_;
+    Counter dirty_evictions_;
+    Counter blocks_fetched_;
+    Counter wb_hits_;
+    Counter wb_misses_;
+    Counter covered_;
+    Counter underpred_blocks_;
+    Counter overpred_blocks_;
+    Histogram density_{1, kMaxBlocksPerPage + 1};
+};
+
+} // namespace fpc
+
+#endif // FPC_DRAMCACHE_FOOTPRINT_CACHE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Common interface of every below-L2 memory system organization:
+ * the no-cache baseline, the ideal die-stacked memory, and the
+ * block-based, page-based and Footprint DRAM caches.
+ */
+
+#ifndef FPC_DRAMCACHE_INTERFACE_HH
+#define FPC_DRAMCACHE_INTERFACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace fpc {
+
+/** Completion of one LLC-miss access to the memory system. */
+struct MemSystemResult
+{
+    /** Cycle at which the demanded block reaches the L2. */
+    Cycle doneAt = 0;
+
+    /** Served from the die-stacked DRAM without off-chip access. */
+    bool cacheHit = false;
+};
+
+/**
+ * The memory system one pod sees below its L2.
+ *
+ * Demand accesses are LLC (L2) misses; writebacks are dirty L2
+ * evictions. Implementations update their DRAM channel models and
+ * their own statistics as side effects.
+ */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /** Serve an LLC demand miss (always a memory read). */
+    virtual MemSystemResult access(Cycle now,
+                                   const MemRequest &req) = 0;
+
+    /** Accept a dirty-block writeback from the LLC. */
+    virtual void writeback(Cycle now, Addr block_addr) = 0;
+
+    /** Short identifier ("baseline", "block", "page", ...). */
+    virtual std::string designName() const = 0;
+
+    /** Demand accesses observed. */
+    virtual std::uint64_t demandAccesses() const = 0;
+
+    /**
+     * Demand accesses whose block was served from the stacked
+     * DRAM (block-granularity hits, as plotted in Figure 5a).
+     */
+    virtual std::uint64_t demandHits() const = 0;
+
+    /** Block-granularity DRAM-cache miss ratio (Figure 5a). */
+    double
+    missRatio() const
+    {
+        const std::uint64_t total = demandAccesses();
+        if (total == 0)
+            return 0.0;
+        return static_cast<double>(total - demandHits()) / total;
+    }
+};
+
+} // namespace fpc
+
+#endif // FPC_DRAMCACHE_INTERFACE_HH

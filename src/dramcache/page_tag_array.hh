@@ -1,0 +1,151 @@
+/**
+ * @file
+ * SRAM tag array for page-granularity DRAM caches (§4.1).
+ *
+ * Set-associative over page frames; a (set, way) pair directly
+ * determines the physical frame address of the page in the stacked
+ * DRAM. Each entry carries the Table 2 block-state vectors, the
+ * bitmap of blocks fetched at allocation (for predictor-accuracy
+ * accounting), and a pointer into the FHT for eviction feedback.
+ */
+
+#ifndef FPC_DRAMCACHE_PAGE_TAG_ARRAY_HH
+#define FPC_DRAMCACHE_PAGE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dramcache/block_state.hh"
+
+namespace fpc {
+
+/** Generation-checked reference to one FHT entry (§4.2). */
+struct FhtRef
+{
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    std::uint32_t gen = 0;
+    bool valid = false;
+};
+
+/** One page frame's tag-array entry. */
+struct PageTagEntry
+{
+    /** Page number (address / pageBytes); full width kept. */
+    Addr pageId = 0;
+
+    /** LRU timestamp. */
+    std::uint64_t lastUse = 0;
+
+    /** Page-level valid bit. */
+    bool valid = false;
+
+    /** Per-block states (Table 2). */
+    PageBlockStates blocks;
+
+    /** Blocks fetched when the page was allocated. */
+    BlockBitmap predicted;
+
+    /** Feedback pointer into the FHT. */
+    FhtRef fht;
+};
+
+/** Set-associative page tag array. */
+class PageTagArray
+{
+  public:
+    struct Config
+    {
+        /** Data capacity of the DRAM cache in bytes. */
+        std::uint64_t capacityBytes = 256ULL << 20;
+
+        /** Page (allocation unit) size in bytes. */
+        unsigned pageBytes = 2048;
+
+        /** Associativity of the tag array. */
+        unsigned assoc = 16;
+    };
+
+    explicit PageTagArray(const Config &config);
+
+    /** Pages the cache can hold. */
+    std::uint64_t numFrames() const { return frames_; }
+    std::uint64_t numSets() const { return sets_; }
+    unsigned assoc() const { return config_.assoc; }
+    unsigned pageBytes() const { return config_.pageBytes; }
+    unsigned blocksPerPage() const { return blocks_per_page_; }
+
+    /**
+     * Find the entry caching @p page_id.
+     *
+     * @param touch update the LRU stamp on hit.
+     * @return the entry, or nullptr when the page is absent.
+     */
+    PageTagEntry *lookup(Addr page_id, bool touch = true);
+
+    /** Eviction information returned by allocate(). */
+    struct Victim
+    {
+        bool valid = false;
+        Addr pageId = 0;
+        PageBlockStates blocks;
+        BlockBitmap predicted;
+        FhtRef fht;
+        /** Frame index the victim occupied (reused by the fill). */
+        std::uint64_t frame = 0;
+    };
+
+    /**
+     * Allocate a frame for @p page_id (which must not be cached),
+     * evicting the LRU way of its set when the set is full.
+     *
+     * The returned entry has valid=true and cleared block state;
+     * the caller seeds the predicted map and performs the fill.
+     */
+    PageTagEntry *allocate(Addr page_id, Victim &victim);
+
+    /** Frame index of an entry (set * assoc + way). */
+    std::uint64_t frameIndex(const PageTagEntry *entry) const;
+
+    /** Stacked-DRAM byte address of frame @p frame. */
+    Addr
+    frameAddr(std::uint64_t frame) const
+    {
+        return frame * config_.pageBytes;
+    }
+
+    /**
+     * SRAM storage the tag array would occupy in hardware
+     * (Table 4), given @p phys_addr_bits of physical addressing
+     * and whether the design needs block vectors and FHT pointers.
+     */
+    std::uint64_t storageBits(unsigned phys_addr_bits,
+                              bool block_vectors,
+                              bool fht_pointer) const;
+
+    /** Visit every valid entry (analysis helpers). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const auto &e : entries_) {
+            if (e.valid)
+                fn(e);
+        }
+    }
+
+  private:
+    std::uint64_t setOf(Addr page_id) const;
+
+    Config config_;
+    std::uint64_t frames_;
+    std::uint64_t sets_;
+    unsigned blocks_per_page_;
+    std::uint64_t tick_ = 0;
+    std::vector<PageTagEntry> entries_;
+};
+
+} // namespace fpc
+
+#endif // FPC_DRAMCACHE_PAGE_TAG_ARRAY_HH

@@ -1,0 +1,97 @@
+#include "dramcache/singleton_table.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpc {
+
+SingletonTable::SingletonTable(const Config &config)
+    : config_(config)
+{
+    FPC_ASSERT(config_.entries > 0 && config_.assoc > 0);
+    FPC_ASSERT(config_.entries % config_.assoc == 0);
+    sets_ = config_.entries / config_.assoc;
+    FPC_ASSERT(isPowerOf2(sets_));
+    slots_.resize(config_.entries);
+}
+
+std::uint32_t
+SingletonTable::setOf(Addr page_id) const
+{
+    return static_cast<std::uint32_t>(mix64(page_id) & (sets_ - 1));
+}
+
+bool
+SingletonTable::consume(Addr page_id, Entry &out)
+{
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(page_id)) * config_.assoc;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Slot &s = slots_[base + w];
+        if (s.valid && s.entry.pageId == page_id) {
+            out = s.entry;
+            s.valid = false;
+            consumed_.inc();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SingletonTable::contains(Addr page_id) const
+{
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(page_id)) * config_.assoc;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        const Slot &s = slots_[base + w];
+        if (s.valid && s.entry.pageId == page_id)
+            return true;
+    }
+    return false;
+}
+
+void
+SingletonTable::insert(Addr page_id, Pc pc, unsigned offset)
+{
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(page_id)) * config_.assoc;
+    unsigned way = 0;
+    bool found_invalid = false;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Slot &s = slots_[base + w];
+        if (!s.valid) {
+            way = w;
+            found_invalid = true;
+            break;
+        }
+        if (s.lastUse < oldest) {
+            oldest = s.lastUse;
+            way = w;
+        }
+    }
+    Slot &s = slots_[base + way];
+    if (!found_invalid)
+        evictions_.inc();
+    s.entry.pageId = page_id;
+    s.entry.pc = pc;
+    s.entry.offset = static_cast<std::uint8_t>(offset);
+    s.valid = true;
+    s.lastUse = ++tick_;
+    inserts_.inc();
+}
+
+std::uint64_t
+SingletonTable::storageBits(unsigned phys_addr_bits) const
+{
+    // Page tag + PC signature + offset + valid + LRU.
+    const unsigned tag_bits = phys_addr_bits - 11;
+    const unsigned pc_bits = 16; /* hashed PC signature */
+    const unsigned lru_bits = floorLog2(config_.assoc) + 1;
+    const std::uint64_t per_entry =
+        tag_bits + pc_bits + 6 + 1 + lru_bits;
+    return per_entry * config_.entries;
+}
+
+} // namespace fpc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Singleton Table (§4.4).
+ *
+ * When the FHT predicts a one-block footprint, the page is not
+ * allocated; instead an ST entry {page tag, PC, offset} remembers
+ * the decision. A second access to the same page (necessarily with
+ * a different offset — or the same block demanded again) reveals
+ * the underprediction: the page is then allocated, and the FHT is
+ * re-seeded with the PC & offset recorded in the ST, restoring
+ * adaptivity that blind singleton classification would lose.
+ */
+
+#ifndef FPC_DRAMCACHE_SINGLETON_TABLE_HH
+#define FPC_DRAMCACHE_SINGLETON_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fpc {
+
+/** The Singleton Table: small, page-tag indexed (3KB for 512). */
+class SingletonTable
+{
+  public:
+    struct Config
+    {
+        std::uint32_t entries = 512;
+        std::uint32_t assoc = 8;
+    };
+
+    explicit SingletonTable(const Config &config);
+
+    /** Recorded context of a singleton classification. */
+    struct Entry
+    {
+        Addr pageId = 0;
+        Pc pc = 0;
+        std::uint8_t offset = 0;
+    };
+
+    /**
+     * Look up @p page_id; when present, return the recorded
+     * context in @p out and *invalidate* the entry (it is consumed
+     * by the underprediction-recovery path).
+     */
+    bool consume(Addr page_id, Entry &out);
+
+    /** Is @p page_id currently tracked? (analysis/tests). */
+    bool contains(Addr page_id) const;
+
+    /** Record a singleton classification. */
+    void insert(Addr page_id, Pc pc, unsigned offset);
+
+    std::uint64_t inserts() const { return inserts_.value(); }
+    std::uint64_t consumed() const { return consumed_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+
+    /** SRAM size in bits (paper: ~3KB for 512 entries). */
+    std::uint64_t storageBits(unsigned phys_addr_bits) const;
+
+  private:
+    struct Slot
+    {
+        Entry entry;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t setOf(Addr page_id) const;
+
+    Config config_;
+    std::uint32_t sets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Slot> slots_;
+
+    Counter inserts_;
+    Counter consumed_;
+    Counter evictions_;
+};
+
+} // namespace fpc
+
+#endif // FPC_DRAMCACHE_SINGLETON_TABLE_HH

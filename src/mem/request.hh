@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Memory request and trace record types.
+ *
+ * A trace record is what a core "executes": a compute gap (number of
+ * non-memory instructions preceding the access) followed by one
+ * memory access tagged with the PC of the issuing instruction. The
+ * PC travels with the request through the hierarchy because the
+ * Footprint Cache predictor is indexed by (PC, offset) (§4.2, §7
+ * "Transfer of PC").
+ */
+
+#ifndef FPC_MEM_REQUEST_HH
+#define FPC_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fpc {
+
+/** One memory access as seen anywhere in the hierarchy. */
+struct MemRequest
+{
+    /** Physical byte address (not necessarily block aligned). */
+    Addr paddr = 0;
+
+    /** PC of the load/store instruction that issued the access. */
+    Pc pc = 0;
+
+    /** Read or write. */
+    MemOp op = MemOp::Read;
+
+    /** Issuing core, [0, numCores). */
+    std::uint16_t coreId = 0;
+};
+
+/** One entry of an execution trace. */
+struct TraceRecord
+{
+    /** Non-memory instructions executed before this access. */
+    std::uint32_t computeGap = 0;
+
+    /** The memory access itself. */
+    MemRequest req;
+};
+
+} // namespace fpc
+
+#endif // FPC_MEM_REQUEST_HH

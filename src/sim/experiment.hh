@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Experiment harness: builds the paper's evaluated configurations
+ * (Tables 3 and 4) — design kind × cache capacity × workload —
+ * wires DRAM systems, the memory organization and the pod, runs
+ * the trace, and returns the measured metrics.
+ */
+
+#ifndef FPC_SIM_EXPERIMENT_HH
+#define FPC_SIM_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+
+#include "dram/system.hh"
+#include "dramcache/block_cache.hh"
+#include "dramcache/footprint_cache.hh"
+#include "dramcache/simple_memories.hh"
+#include "mem/trace.hh"
+#include "sim/pod_system.hh"
+
+namespace fpc {
+
+/** The five memory-system organizations of the evaluation. */
+enum class DesignKind : std::uint8_t
+{
+    Baseline,
+    Block,
+    Page,
+    Footprint,
+    Ideal,
+};
+
+/** Printable name ("baseline", "block", ...). */
+const char *designName(DesignKind kind);
+
+/** Table 4 lookup: SRAM tag latency for page-organized designs. */
+Cycle tagLatencyCycles(DesignKind kind, std::uint64_t capacity_mb);
+
+/** Table 4 lookup: MissMap parameters per capacity. */
+MissMap::Config missMapConfig(std::uint64_t capacity_mb);
+
+/** Table 4 lookup: MissMap access latency. */
+Cycle missMapLatencyCycles(std::uint64_t capacity_mb);
+
+/** One fully-wired experiment instance. */
+class Experiment
+{
+  public:
+    struct Config
+    {
+        DesignKind design = DesignKind::Footprint;
+        std::uint64_t capacityMb = 256;
+        unsigned pageBytes = 2048;
+        std::uint32_t fhtEntries = 16 * 1024;
+        bool singletonOptimization = true;
+        PredictorIndex predictorIndex = PredictorIndex::PcOffset;
+        FhtTrain fhtTrain = FhtTrain::Replace;
+        FetchPolicy footprintFetch = FetchPolicy::Predictor;
+        PodConfig pod;
+
+        /** Override stacked channel count (0 = default 4). */
+        unsigned stackedChannels = 0;
+
+        /** Halve stacked latencies (Figure 1 study). */
+        bool stackedLowLatency = false;
+    };
+
+    Experiment(const Config &config, TraceSource &trace);
+
+    /** Run with the given warmup/measurement windows. */
+    RunMetrics run(std::uint64_t warmup_refs,
+                   std::uint64_t measure_refs);
+
+    /** The footprint/page cache, when the design has one. */
+    FootprintCache *footprintCache() { return fpc_.get(); }
+
+    /** The block cache, when the design is block-based. */
+    BlockCache *blockCache() { return block_.get(); }
+
+    DramSystem *stacked() { return stacked_.get(); }
+    DramSystem &offchip() { return *offchip_; }
+    PodSystem &pod() { return *pod_; }
+    MemorySystem &memory() { return *memory_; }
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_;
+    std::unique_ptr<DramSystem> stacked_;
+    std::unique_ptr<DramSystem> offchip_;
+    std::unique_ptr<FootprintCache> fpc_;
+    std::unique_ptr<BlockCache> block_;
+    std::unique_ptr<NoCacheMemory> baseline_;
+    std::unique_ptr<IdealCache> ideal_;
+    MemorySystem *memory_ = nullptr;
+    std::unique_ptr<PodSystem> pod_;
+};
+
+} // namespace fpc
+
+#endif // FPC_SIM_EXPERIMENT_HH

@@ -1,0 +1,161 @@
+#include "sim/pod_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fpc {
+
+PodSystem::PodSystem(const PodConfig &config, TraceSource &trace,
+                     MemorySystem &memory, DramSystem *stacked,
+                     DramSystem &offchip)
+    : config_(config), trace_(trace), memory_(memory),
+      stacked_(stacked), offchip_(offchip),
+      hierarchy_(config.hierarchy)
+{
+    FPC_ASSERT(config_.numCores == config_.hierarchy.numCores);
+    FPC_ASSERT(config_.coreIpc > 0.0);
+}
+
+PodSystem::Snapshot
+PodSystem::capture(Cycle now) const
+{
+    Snapshot s;
+    s.instructions = total_instructions_;
+    s.now = now;
+    s.records = total_records_;
+    s.llcMisses = hierarchy_.l2Misses();
+    s.demandAccesses = memory_.demandAccesses();
+    s.demandHits = memory_.demandHits();
+    s.offchipBytes = offchip_.totalBytes();
+    s.offchipActs = offchip_.totalActivates();
+    s.offchipActPreNj = offchip_.totalActPreEnergyNj();
+    s.offchipBurstNj = offchip_.totalBurstEnergyNj();
+    if (stacked_) {
+        s.stackedBytes = stacked_->totalBytes();
+        s.stackedActs = stacked_->totalActivates();
+        s.stackedActPreNj = stacked_->totalActPreEnergyNj();
+        s.stackedBurstNj = stacked_->totalBurstEnergyNj();
+    }
+    return s;
+}
+
+RunMetrics
+PodSystem::run(std::uint64_t warmup_refs,
+               std::uint64_t measure_refs)
+{
+    EventQueue<unsigned> ready;
+    for (unsigned c = 0; c < config_.numCores; ++c)
+        ready.schedule(0, c);
+
+    // Outstanding load-miss completion times per core (bounded by
+    // mlpPerCore); a full window stalls the core until the oldest
+    // miss returns.
+    std::vector<std::vector<Cycle>> outstanding(config_.numCores);
+    const unsigned mlp = std::max(1u, config_.mlpPerCore);
+
+    const std::uint64_t stop_refs =
+        total_records_ + warmup_refs + measure_refs;
+    const std::uint64_t snap_refs = total_records_ + warmup_refs;
+
+    Snapshot start{};
+    bool snapped = (warmup_refs == 0);
+    Cycle now = 0;
+    if (snapped)
+        start = capture(0);
+
+    while (!ready.empty() && total_records_ < stop_refs) {
+        auto [when, core] = ready.pop();
+        now = std::max(now, when);
+
+        TraceRecord rec;
+        if (!trace_.next(core, rec))
+            continue; // Trace exhausted: core stops issuing.
+        rec.req.coreId = static_cast<std::uint16_t>(core);
+        ++total_records_;
+        total_instructions_ += rec.computeGap + 1;
+
+        // Compute phase: gap instructions at the core's base IPC.
+        const Cycle compute = static_cast<Cycle>(
+            static_cast<double>(rec.computeGap) / config_.coreIpc);
+        const Cycle issue_at = now + compute;
+
+        // Memory phase.
+        Cycle ready_at;
+        bool long_miss = false;
+        HierarchyOutcome out = hierarchy_.access(rec.req);
+        const bool is_load = rec.req.op == MemOp::Read;
+        if (out.l1Hit) {
+            ready_at = issue_at + config_.l1HitLatency;
+        } else if (out.l2Hit) {
+            ready_at = issue_at + config_.l1HitLatency +
+                       config_.l2HitLatency;
+        } else {
+            MemSystemResult res = memory_.access(
+                issue_at + config_.l1HitLatency +
+                    config_.l2HitLatency,
+                rec.req);
+            ready_at = res.doneAt;
+            long_miss = true;
+        }
+        // Dirty evictions forced out of the L2 go to memory.
+        for (unsigned i = 0; i < out.numWritebacks; ++i) {
+            memory_.writeback(issue_at + config_.l1HitLatency +
+                                  config_.l2HitLatency,
+                              out.writebackAddr[i]);
+        }
+
+        if (!is_load) {
+            // Stores retire without blocking the core.
+            ready_at = issue_at + config_.l1HitLatency;
+        } else if (long_miss) {
+            // The OoO window hides load misses until mlp are in
+            // flight; then the core stalls for the oldest one.
+            auto &window = outstanding[core];
+            std::erase_if(window, [&](Cycle c) {
+                return c <= issue_at;
+            });
+            window.push_back(ready_at);
+            if (window.size() <= mlp) {
+                ready_at = issue_at + config_.l1HitLatency;
+            } else {
+                auto oldest = std::min_element(window.begin(),
+                                               window.end());
+                ready_at = std::max(*oldest,
+                                    issue_at +
+                                        config_.l1HitLatency);
+                window.erase(oldest);
+            }
+        }
+
+        ready.schedule(ready_at, core);
+
+        if (!snapped && total_records_ >= snap_refs) {
+            start = capture(now);
+            snapped = true;
+        }
+    }
+
+    Snapshot end = capture(now);
+    if (!snapped)
+        start = Snapshot{};
+
+    RunMetrics m;
+    m.instructions = end.instructions - start.instructions;
+    m.cycles = end.now - start.now;
+    m.traceRecords = end.records - start.records;
+    m.llcMisses = end.llcMisses - start.llcMisses;
+    m.demandAccesses = end.demandAccesses - start.demandAccesses;
+    m.demandHits = end.demandHits - start.demandHits;
+    m.offchipBytes = end.offchipBytes - start.offchipBytes;
+    m.stackedBytes = end.stackedBytes - start.stackedBytes;
+    m.offchipActs = end.offchipActs - start.offchipActs;
+    m.stackedActs = end.stackedActs - start.stackedActs;
+    m.offchipActPreNj = end.offchipActPreNj - start.offchipActPreNj;
+    m.offchipBurstNj = end.offchipBurstNj - start.offchipBurstNj;
+    m.stackedActPreNj = end.stackedActPreNj - start.stackedActPreNj;
+    m.stackedBurstNj = end.stackedBurstNj - start.stackedBurstNj;
+    return m;
+}
+
+} // namespace fpc

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Timing simulation of one scale-out pod (Table 3): 16 cores with
+ * private L1Ds, a shared L2, a below-L2 memory system (one of the
+ * five organizations), stacked and off-chip DRAM channel models.
+ *
+ * Cores are trace-driven agents dispatched in global time order.
+ * Loads block the issuing core until the critical block returns;
+ * stores retire without blocking (write-buffer approximation) but
+ * still consume hierarchy and DRAM resources. The performance
+ * metric is the paper's: aggregate committed instructions over
+ * total cycles (§5.4).
+ */
+
+#ifndef FPC_SIM_POD_SYSTEM_HH
+#define FPC_SIM_POD_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/event_queue.hh"
+#include "dram/system.hh"
+#include "dramcache/interface.hh"
+#include "mem/trace.hh"
+
+namespace fpc {
+
+/** Pod-level timing parameters. */
+struct PodConfig
+{
+    unsigned numCores = 16;
+
+    /** Non-memory IPC of one core. */
+    double coreIpc = 2.0;
+
+    /** L1D load-to-use latency (Table 3: 2 cycles). */
+    Cycle l1HitLatency = 2;
+
+    /** L2 hit latency (Table 3: 13 cycles). */
+    Cycle l2HitLatency = 13;
+
+    /**
+     * Outstanding load misses a core sustains before stalling:
+     * the memory-level parallelism of the 3-way OoO core
+     * (Table 3). 1 models a blocking in-order core.
+     */
+    unsigned mlpPerCore = 4;
+
+    CacheHierarchy::Config hierarchy =
+        CacheHierarchy::Config::scaleOutPod();
+};
+
+/** Metric deltas over the measurement window. */
+struct RunMetrics
+{
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    std::uint64_t traceRecords = 0;
+
+    std::uint64_t llcMisses = 0;
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandHits = 0;
+
+    std::uint64_t offchipBytes = 0;
+    std::uint64_t stackedBytes = 0;
+    std::uint64_t offchipActs = 0;
+    std::uint64_t stackedActs = 0;
+
+    double offchipActPreNj = 0.0;
+    double offchipBurstNj = 0.0;
+    double stackedActPreNj = 0.0;
+    double stackedBurstNj = 0.0;
+
+    /** Aggregate instructions per cycle (the paper's metric). */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles
+                      : 0.0;
+    }
+
+    /** Block-granularity DRAM cache miss ratio. */
+    double
+    missRatio() const
+    {
+        return demandAccesses
+                   ? static_cast<double>(demandAccesses -
+                                         demandHits) /
+                         demandAccesses
+                   : 0.0;
+    }
+
+    /** Average off-chip bandwidth in GB/s at 3GHz. */
+    double
+    offchipBandwidthGBps(double cpu_ghz = 3.0) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return static_cast<double>(offchipBytes) /
+               (static_cast<double>(cycles) / cpu_ghz);
+    }
+
+    /** Off-chip DRAM dynamic energy per instruction (nJ). */
+    double
+    offchipEnergyPerInstr() const
+    {
+        return instructions ? (offchipActPreNj + offchipBurstNj) /
+                                  instructions
+                            : 0.0;
+    }
+
+    /** Stacked DRAM dynamic energy per instruction (nJ). */
+    double
+    stackedEnergyPerInstr() const
+    {
+        return instructions ? (stackedActPreNj + stackedBurstNj) /
+                                  instructions
+                            : 0.0;
+    }
+};
+
+/** One pod: cores + hierarchy + memory system + DRAM models. */
+class PodSystem
+{
+  public:
+    /**
+     * @param stacked may be nullptr for the no-cache baseline.
+     */
+    PodSystem(const PodConfig &config, TraceSource &trace,
+              MemorySystem &memory, DramSystem *stacked,
+              DramSystem &offchip);
+
+    /**
+     * Run @p warmup_refs trace records to warm the hierarchy and
+     * the DRAM cache, then measure over @p measure_refs records.
+     */
+    RunMetrics run(std::uint64_t warmup_refs,
+                   std::uint64_t measure_refs);
+
+    const CacheHierarchy &hierarchy() const { return hierarchy_; }
+
+  private:
+    struct Snapshot
+    {
+        std::uint64_t instructions = 0;
+        Cycle now = 0;
+        std::uint64_t records = 0;
+        std::uint64_t llcMisses = 0;
+        std::uint64_t demandAccesses = 0;
+        std::uint64_t demandHits = 0;
+        std::uint64_t offchipBytes = 0;
+        std::uint64_t stackedBytes = 0;
+        std::uint64_t offchipActs = 0;
+        std::uint64_t stackedActs = 0;
+        double offchipActPreNj = 0.0;
+        double offchipBurstNj = 0.0;
+        double stackedActPreNj = 0.0;
+        double stackedBurstNj = 0.0;
+    };
+
+    Snapshot capture(Cycle now) const;
+
+    PodConfig config_;
+    TraceSource &trace_;
+    MemorySystem &memory_;
+    DramSystem *stacked_;
+    DramSystem &offchip_;
+    CacheHierarchy hierarchy_;
+
+    std::uint64_t total_instructions_ = 0;
+    std::uint64_t total_records_ = 0;
+};
+
+} // namespace fpc
+
+#endif // FPC_SIM_POD_SYSTEM_HH

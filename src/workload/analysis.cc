@@ -1,0 +1,32 @@
+#include "workload/analysis.hh"
+
+#include <algorithm>
+
+namespace fpc {
+
+double
+AccessCountingMemory::idealCacheSizeMb(double fraction) const
+{
+    if (counts_.empty() || accesses_ == 0)
+        return 0.0;
+    std::vector<std::uint64_t> sorted;
+    sorted.reserve(counts_.size());
+    for (const auto &kv : counts_)
+        sorted.push_back(kv.second);
+    std::sort(sorted.begin(), sorted.end(),
+              std::greater<std::uint64_t>());
+
+    const double target = fraction * static_cast<double>(accesses_);
+    double covered = 0.0;
+    std::size_t pages = 0;
+    for (std::uint64_t c : sorted) {
+        if (covered >= target)
+            break;
+        covered += static_cast<double>(c);
+        ++pages;
+    }
+    return static_cast<double>(pages) * page_bytes_ /
+           (1024.0 * 1024.0);
+}
+
+} // namespace fpc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace-analysis helpers for the characterization figures.
+ *
+ *  - AccessCountingMemory records per-page LLC access counts for
+ *    the hot-page coverage study of Figure 12 (how much ideal
+ *    cache is needed to capture X% of accesses, CHOP-style).
+ */
+
+#ifndef FPC_WORKLOAD_ANALYSIS_HH
+#define FPC_WORKLOAD_ANALYSIS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dramcache/interface.hh"
+
+namespace fpc {
+
+/** Memory system that only counts LLC accesses per page. */
+class AccessCountingMemory : public MemorySystem
+{
+  public:
+    explicit AccessCountingMemory(unsigned page_bytes = 4096)
+        : page_bytes_(page_bytes)
+    {
+    }
+
+    MemSystemResult
+    access(Cycle now, const MemRequest &req) override
+    {
+        ++accesses_;
+        ++counts_[req.paddr / page_bytes_];
+        return {now + 1, false};
+    }
+
+    void
+    writeback(Cycle, Addr) override
+    {
+    }
+
+    std::string designName() const override { return "counting"; }
+    std::uint64_t demandAccesses() const override
+    {
+        return accesses_;
+    }
+    std::uint64_t demandHits() const override { return 0; }
+
+    /**
+     * Size in MB of an ideal, perfectly-replaced cache of
+     * @p page_bytes pages needed to cover @p fraction of all
+     * recorded accesses (Figure 12's y-axis).
+     */
+    double idealCacheSizeMb(double fraction) const;
+
+    /** Distinct pages observed. */
+    std::size_t distinctPages() const { return counts_.size(); }
+
+  private:
+    unsigned page_bytes_;
+    std::uint64_t accesses_ = 0;
+    std::unordered_map<Addr, std::uint64_t> counts_;
+};
+
+} // namespace fpc
+
+#endif // FPC_WORKLOAD_ANALYSIS_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The synthetic trace engine.
+ *
+ * Visits (one page being processed by one code path) live in a
+ * schedule ordered by due record-count. Each step pops the due
+ * visit, emits one burst of its script (block accesses with
+ * per-block repeats, write mix and compute gaps), and reschedules
+ * the visit spreadRecords later; new visits are started whenever
+ * the schedule has nothing due, which self-balances the in-flight
+ * population. A page's class, pattern and alignment shift are
+ * deterministic functions of its page number, so revisits replay
+ * the same footprint — exactly the code/data correlation the FHT
+ * exploits (§3.1).
+ */
+
+#ifndef FPC_WORKLOAD_GENERATOR_HH
+#define FPC_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/trace.hh"
+#include "workload/spec.hh"
+
+namespace fpc {
+
+/** Trace source generating a WorkloadSpec's access stream. */
+class SyntheticTraceSource : public TraceSource
+{
+  public:
+    explicit SyntheticTraceSource(const WorkloadSpec &spec);
+
+    bool next(unsigned core_id, TraceRecord &out) override;
+    void reset() override;
+
+    /** Distinct page visits started so far. */
+    std::uint64_t visitsStarted() const { return visits_started_; }
+
+    const WorkloadSpec &spec() const { return spec_; }
+
+  private:
+    /** One access function: ordered offsets + a PC per position. */
+    struct Pattern
+    {
+        std::vector<std::uint8_t> offsets;
+        Pc pcBase = 0;
+        std::uint32_t epoch = 0;
+        std::uint64_t visitsSinceDrift = 0;
+    };
+
+    struct Visit
+    {
+        Addr pageId = 0;
+        std::uint32_t classIdx = 0;
+        std::uint32_t patternIdx = 0;
+        std::uint32_t noiseSeed = 0;
+        std::uint16_t pos = 0;
+        std::uint16_t scriptLen = 0;
+        std::uint8_t shift = 0;
+        std::uint8_t noiseCount = 0;
+    };
+
+    struct Scheduled
+    {
+        std::uint64_t due;
+        std::uint64_t seq;
+        Visit visit;
+
+        bool
+        operator>(const Scheduled &other) const
+        {
+            if (due != other.due)
+                return due > other.due;
+            return seq > other.seq;
+        }
+    };
+
+    void init();
+    void startVisit();
+    void emitBurst(Visit &visit);
+    void emitAccess(Addr page_id, unsigned block, Pc pc);
+    unsigned resolveOffset(const Visit &visit,
+                           const Pattern &pattern,
+                           unsigned pos) const;
+    Pattern &patternOf(const Visit &visit);
+    void maybeDrift(std::uint32_t class_idx, Pattern &pattern);
+    void regenerateOffsets(std::uint32_t class_idx,
+                           Pattern &pattern,
+                           std::uint64_t epoch_seed);
+
+    WorkloadSpec spec_;
+    unsigned blocks_per_page_;
+    Rng rng_;
+    ZipfSampler page_zipf_;
+    ZipfSampler hot_zipf_;
+
+    /** Per-class pattern tables. */
+    std::vector<std::vector<Pattern>> patterns_;
+
+    /** Cumulative class weights for visit-start selection. */
+    std::vector<double> class_cdf_;
+
+    std::priority_queue<Scheduled, std::vector<Scheduled>,
+                        std::greater<>>
+        schedule_;
+    std::deque<TraceRecord> pending_;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t sched_seq_ = 0;
+    std::uint64_t scan_next_page_ = 0;
+    std::uint64_t visits_started_ = 0;
+};
+
+} // namespace fpc
+
+#endif // FPC_WORKLOAD_GENERATOR_HH

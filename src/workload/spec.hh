@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Workload model specifications.
+ *
+ * The paper evaluates CloudSuite 1.0 scale-out workloads plus a
+ * multiprogrammed SPEC mix (§5.3). We cannot ship those traces, so
+ * each workload is modeled as a population of *page classes*: a
+ * class is a family of access "functions" (patterns) with a
+ * characteristic footprint density, burst structure and temporal
+ * spread. The structure the Footprint predictor exploits — stable
+ * per-code-path footprints, alignment shifts, singleton probes,
+ * streaming scans — is generated explicitly, and the density-vs-
+ * capacity behaviour of Figure 4 emerges from the interaction of
+ * per-class spread with cache residency. See DESIGN.md §6.
+ */
+
+#ifndef FPC_WORKLOAD_SPEC_HH
+#define FPC_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fpc {
+
+/** One family of code paths touching pages the same way. */
+struct PageClassSpec
+{
+    std::string name;
+
+    /** Share of page visits belonging to this class. */
+    double weight = 1.0;
+
+    /** Footprint size range in blocks (inclusive). */
+    unsigned minDensity = 8;
+    unsigned maxDensity = 16;
+
+    /** Distinct access functions (FHT working-set size lever). */
+    unsigned numPatterns = 16;
+
+    /** Blocks touched per burst of a visit. */
+    unsigned burstBlocks = 4;
+
+    /** Mean trace records between bursts of one visit. */
+    std::uint64_t spreadRecords = 50'000;
+
+    /** Pages are fresh (streamed) and never revisited. */
+    bool scan = false;
+
+    /** Data-structure alignment shifts (1 = fixed alignment). */
+    unsigned shiftRange = 1;
+
+    /** Chance a visit touches extra unpredictable blocks. */
+    double noiseProb = 0.05;
+
+    /** Completed visits between pattern mutations (0 = never). */
+    std::uint64_t driftPeriod = 0;
+};
+
+/** A complete synthetic workload. */
+struct WorkloadSpec
+{
+    std::string name;
+
+    /** Distinct pages in the (resident-class) dataset. */
+    std::uint64_t datasetPages = 4 << 20;
+
+    /** Zipf exponent of page popularity (0 = uniform). */
+    double zipfS = 0.4;
+
+    /** Fraction of accesses that are stores. */
+    double writeFraction = 0.3;
+
+    /** Accesses per touched block (upper-level locality). */
+    unsigned repeatsMin = 4;
+    unsigned repeatsMax = 5;
+
+    /** Non-memory instructions between accesses. */
+    unsigned gapMin = 8;
+    unsigned gapMax = 18;
+
+    /** Optional cache-resident hot subset (multiprogrammed). */
+    double hotFraction = 0.0;
+    std::uint64_t hotPages = 0;
+
+    std::vector<PageClassSpec> classes;
+
+    unsigned pageBytes = 2048;
+    std::uint64_t seed = 42;
+};
+
+/** The six evaluated workloads (§5.3). */
+enum class WorkloadKind : std::uint8_t
+{
+    DataServing,
+    MapReduce,
+    Multiprogrammed,
+    SatSolver,
+    WebFrontend,
+    WebSearch,
+};
+
+/** All six, in the paper's presentation order. */
+inline constexpr WorkloadKind kAllWorkloads[] = {
+    WorkloadKind::DataServing,    WorkloadKind::MapReduce,
+    WorkloadKind::Multiprogrammed, WorkloadKind::SatSolver,
+    WorkloadKind::WebFrontend,    WorkloadKind::WebSearch,
+};
+
+/** Printable name. */
+const char *workloadName(WorkloadKind kind);
+
+/**
+ * Build the preset spec for @p kind (see src/workload/presets.cc
+ * for the tuning rationale of every class).
+ */
+WorkloadSpec makeWorkload(WorkloadKind kind,
+                          unsigned page_bytes = 2048,
+                          std::uint64_t seed = 42);
+
+} // namespace fpc
+
+#endif // FPC_WORKLOAD_SPEC_HH

@@ -1,0 +1,120 @@
+/** @file Unit tests for BlockBitmap. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hh"
+
+namespace fpc {
+namespace {
+
+TEST(BlockBitmap, StartsEmpty)
+{
+    BlockBitmap b;
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.count(), 0u);
+    EXPECT_EQ(b.raw(), 0u);
+}
+
+TEST(BlockBitmap, SetTestClear)
+{
+    BlockBitmap b;
+    b.set(5);
+    EXPECT_TRUE(b.test(5));
+    EXPECT_FALSE(b.test(4));
+    EXPECT_EQ(b.count(), 1u);
+    b.clear(5);
+    EXPECT_FALSE(b.test(5));
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(BlockBitmap, FirstN)
+{
+    EXPECT_EQ(BlockBitmap::firstN(0).count(), 0u);
+    EXPECT_EQ(BlockBitmap::firstN(32).count(), 32u);
+    EXPECT_EQ(BlockBitmap::firstN(64).count(), 64u);
+    BlockBitmap b = BlockBitmap::firstN(32);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(31));
+    EXPECT_FALSE(b.test(32));
+}
+
+TEST(BlockBitmap, Single)
+{
+    BlockBitmap b = BlockBitmap::single(63);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_TRUE(b.test(63));
+    EXPECT_EQ(b.lowestSet(), 63u);
+}
+
+TEST(BlockBitmap, LowestSet)
+{
+    BlockBitmap b;
+    b.set(17);
+    b.set(3);
+    b.set(42);
+    EXPECT_EQ(b.lowestSet(), 3u);
+}
+
+TEST(BlockBitmap, SetOperations)
+{
+    BlockBitmap a = BlockBitmap::firstN(8);
+    BlockBitmap b = BlockBitmap::single(4) |
+                    BlockBitmap::single(20);
+    EXPECT_EQ((a & b).count(), 1u);
+    EXPECT_TRUE((a & b).test(4));
+    EXPECT_EQ((a | b).count(), 9u);
+    EXPECT_EQ(a.minus(b).count(), 7u);
+    EXPECT_FALSE(a.minus(b).test(4));
+    EXPECT_EQ(b.minus(a).count(), 1u);
+    EXPECT_TRUE(b.minus(a).test(20));
+}
+
+TEST(BlockBitmap, OrAssign)
+{
+    BlockBitmap a;
+    a |= BlockBitmap::single(1);
+    a |= BlockBitmap::single(2);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(BlockBitmap, Equality)
+{
+    EXPECT_EQ(BlockBitmap::firstN(4),
+              BlockBitmap::single(0) | BlockBitmap::single(1) |
+                  BlockBitmap::single(2) | BlockBitmap::single(3));
+    EXPECT_NE(BlockBitmap::firstN(4), BlockBitmap::firstN(5));
+}
+
+/** Property sweep: count == sum of set bits for many patterns. */
+class BitmapProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BitmapProperty, CountMatchesPopcount)
+{
+    BlockBitmap b(GetParam());
+    unsigned expected = 0;
+    for (unsigned i = 0; i < 64; ++i)
+        expected += b.test(i) ? 1 : 0;
+    EXPECT_EQ(b.count(), expected);
+}
+
+TEST_P(BitmapProperty, MinusAndIntersectPartition)
+{
+    BlockBitmap b(GetParam());
+    BlockBitmap mask(0x00ff00ff00ff00ffULL);
+    // (b & mask) and (b \ mask) partition b.
+    EXPECT_EQ((b & mask).count() + b.minus(mask).count(),
+              b.count());
+    EXPECT_TRUE(((b & mask) & b.minus(mask)).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, BitmapProperty,
+    ::testing::Values(0ULL, 1ULL, 0x8000000000000000ULL,
+                      0xffffffffffffffffULL, 0x5555555555555555ULL,
+                      0xaaaaaaaaaaaaaaaaULL, 0x123456789abcdef0ULL,
+                      0x00ff00ff00ff00ffULL, 0xdeadbeefcafebabeULL));
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,165 @@
+/** @file Unit tests for the Loh-Hill block-based DRAM cache. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dramcache/block_cache.hh"
+
+namespace fpc {
+namespace {
+
+class BlockCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    build(std::uint64_t capacity = 64 * 1024,
+          std::uint32_t mm_entries = 64)
+    {
+        DramSystem::Config stk_cfg =
+            DramSystem::Config::stackedPod();
+        stk_cfg.timing.policy = PagePolicy::Closed;
+        stk_cfg.interleaveBytes = kBlockBytes;
+        stacked_ = std::make_unique<DramSystem>(stk_cfg);
+        offchip_ = std::make_unique<DramSystem>(
+            DramSystem::Config::offchipPod());
+        BlockCache::Config cfg;
+        cfg.capacityBytes = capacity;
+        cfg.missMap.entries = mm_entries;
+        cfg.missMap.assoc = 4;
+        cfg.missMapLatencyCycles = 9;
+        cache_ = std::make_unique<BlockCache>(cfg, *stacked_,
+                                              *offchip_);
+        now_ = 0;
+    }
+
+    MemSystemResult
+    access(Addr addr)
+    {
+        MemRequest r;
+        r.paddr = addr;
+        r.op = MemOp::Read;
+        now_ += 200;
+        return cache_->access(now_, r);
+    }
+
+    std::unique_ptr<DramSystem> stacked_;
+    std::unique_ptr<DramSystem> offchip_;
+    std::unique_ptr<BlockCache> cache_;
+    Cycle now_ = 0;
+};
+
+TEST_F(BlockCacheTest, MissFetchesOneBlock)
+{
+    build();
+    MemSystemResult r = access(0x10000);
+    EXPECT_FALSE(r.cacheHit);
+    EXPECT_EQ(offchip_->totalBlocksRead(), 1u);
+    // Fill writes data + tag update into the row.
+    EXPECT_EQ(stacked_->totalBlocksWritten(), 2u);
+}
+
+TEST_F(BlockCacheTest, HitServedFromStacked)
+{
+    build();
+    access(0x10000);
+    std::uint64_t off_rd = offchip_->totalBlocksRead();
+    MemSystemResult r = access(0x10000);
+    EXPECT_TRUE(r.cacheHit);
+    EXPECT_EQ(offchip_->totalBlocksRead(), off_rd);
+    // Compound access: tag block + data block read.
+    EXPECT_GE(stacked_->totalBlocksRead(), 2u);
+}
+
+TEST_F(BlockCacheTest, OnlyDemandedBlockCached)
+{
+    build();
+    access(0x10000);
+    // The neighbouring block was NOT fetched (no spatial fetch).
+    MemSystemResult r = access(0x10040);
+    EXPECT_FALSE(r.cacheHit);
+}
+
+TEST_F(BlockCacheTest, WritebackAllocates)
+{
+    build();
+    cache_->writeback(100, 0x20000);
+    MemSystemResult r = access(0x20000);
+    EXPECT_TRUE(r.cacheHit);
+    EXPECT_EQ(offchip_->totalBlocksRead(), 0u); // no fetch needed
+}
+
+TEST_F(BlockCacheTest, DirtyEvictionWritesOffchip)
+{
+    build(4096, 64); // 2 sets x 30 ways
+    cache_->writeback(100, 0x0); // dirty block in set 0
+    std::uint64_t wr = offchip_->totalBlocksWritten();
+    // Fill set 0 beyond capacity: block numbers = 0 mod 2.
+    for (unsigned i = 1; i <= 30; ++i)
+        access(static_cast<Addr>(i) * 2 * 64);
+    EXPECT_GT(cache_->dirtyBlockEvictions(), 0u);
+    EXPECT_GT(offchip_->totalBlocksWritten(), wr);
+}
+
+TEST_F(BlockCacheTest, MissMapEvictionFlushesSegment)
+{
+    build(1024 * 1024, 8); // tiny MissMap: 2 sets x 4 ways
+    access(0x0);
+    access(0x40);
+    // Touch many distinct segments to displace segment 0.
+    for (unsigned s = 1; s < 64; ++s)
+        access(static_cast<Addr>(s) * 4096);
+    EXPECT_GT(cache_->missMapEvictions(), 0u);
+    EXPECT_GT(cache_->missMapFlushedBlocks(), 0u);
+}
+
+TEST_F(BlockCacheTest, FlushedBlocksNoLongerHit)
+{
+    build(1024 * 1024, 8);
+    access(0x0);
+    for (unsigned s = 1; s < 64; ++s)
+        access(static_cast<Addr>(s) * 4096);
+    // If segment 0 was displaced, block 0x0 must miss now.
+    if (cache_->missMapEvictions() > 0 &&
+        !cache_->missMap().present(0x0)) {
+        std::uint64_t misses_before =
+            cache_->demandAccesses() - cache_->demandHits();
+        access(0x0);
+        EXPECT_EQ(cache_->demandAccesses() - cache_->demandHits(),
+                  misses_before + 1);
+    }
+}
+
+TEST_F(BlockCacheTest, DataCapacityExcludesTags)
+{
+    build(64 * 1024);
+    // 32 rows of 2KB; 30 of 32 blocks are data.
+    EXPECT_EQ(cache_->dataCapacityBytes(), 32u * 30 * 64);
+}
+
+TEST_F(BlockCacheTest, LruWithinSet)
+{
+    build(4096, 64); // 2 sets x 30 ways
+    access(0x0);     // set 0
+    // Fill the set with 30 more blocks; 0x0 is LRU and evicted.
+    for (unsigned i = 1; i <= 30; ++i)
+        access(static_cast<Addr>(i) * 2 * 64);
+    MemSystemResult r = access(0x0);
+    EXPECT_FALSE(r.cacheHit);
+}
+
+TEST_F(BlockCacheTest, MissMapConsistentWithCache)
+{
+    build(4096, 256);
+    // Stream a lot of traffic, then verify: every hit the cache
+    // reports corresponds to a MissMap-present block.
+    for (unsigned i = 0; i < 300; ++i) {
+        Addr a = static_cast<Addr>((i * 37) % 128) * 64;
+        bool present = cache_->missMap().present(blockAlign(a));
+        MemSystemResult r = access(a);
+        EXPECT_EQ(r.cacheHit, present);
+    }
+}
+
+} // namespace
+} // namespace fpc

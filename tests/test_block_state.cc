@@ -1,0 +1,167 @@
+/** @file Unit tests for the Table 2 block-state encoding. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/block_state.hh"
+
+namespace fpc {
+namespace {
+
+TEST(BlockState, Table2Encoding)
+{
+    // The literal Table 2 rows.
+    EXPECT_EQ(encodeBlockState(false, false),
+              BlockState::NotPresent);
+    EXPECT_EQ(encodeBlockState(false, true),
+              BlockState::ValidCleanPredicted);
+    EXPECT_EQ(encodeBlockState(true, false),
+              BlockState::ValidCleanDemanded);
+    EXPECT_EQ(encodeBlockState(true, true),
+              BlockState::ValidDirtyDemanded);
+}
+
+TEST(BlockState, Predicates)
+{
+    EXPECT_FALSE(blockStateValid(BlockState::NotPresent));
+    EXPECT_TRUE(blockStateValid(BlockState::ValidCleanPredicted));
+    EXPECT_TRUE(blockStateValid(BlockState::ValidCleanDemanded));
+    EXPECT_TRUE(blockStateValid(BlockState::ValidDirtyDemanded));
+
+    EXPECT_FALSE(blockStateDemanded(BlockState::NotPresent));
+    EXPECT_FALSE(
+        blockStateDemanded(BlockState::ValidCleanPredicted));
+    EXPECT_TRUE(blockStateDemanded(BlockState::ValidCleanDemanded));
+    EXPECT_TRUE(blockStateDemanded(BlockState::ValidDirtyDemanded));
+
+    EXPECT_FALSE(blockStateDirty(BlockState::ValidCleanDemanded));
+    EXPECT_TRUE(blockStateDirty(BlockState::ValidDirtyDemanded));
+}
+
+TEST(PageBlockStates, FillPredictedThenDemand)
+{
+    PageBlockStates s;
+    s.fillPredicted(3);
+    EXPECT_EQ(s.state(3), BlockState::ValidCleanPredicted);
+    EXPECT_TRUE(s.present(3));
+    EXPECT_FALSE(s.demanded(3));
+
+    s.markDemanded(3); // 01 -> 10
+    EXPECT_EQ(s.state(3), BlockState::ValidCleanDemanded);
+    EXPECT_TRUE(s.demanded(3));
+    EXPECT_FALSE(s.dirtyData(3));
+}
+
+TEST(PageBlockStates, FillDemandedDirectly)
+{
+    PageBlockStates s;
+    s.fillDemanded(7);
+    EXPECT_EQ(s.state(7), BlockState::ValidCleanDemanded);
+}
+
+TEST(PageBlockStates, WritebackMakesDirty)
+{
+    PageBlockStates s;
+    s.fillPredicted(1);
+    s.markDirtyData(1);
+    EXPECT_EQ(s.state(1), BlockState::ValidDirtyDemanded);
+    EXPECT_TRUE(s.dirtyData(1));
+    EXPECT_TRUE(s.demanded(1)); // dirty implies demanded
+}
+
+TEST(PageBlockStates, DemandedMapIsThePhysicalDirtyVector)
+{
+    // §4.3: the high-order (dirty) bits ARE the footprint sent to
+    // the FHT.
+    PageBlockStates s;
+    s.fillDemanded(0);
+    s.fillPredicted(1);
+    s.fillPredicted(2);
+    s.markDemanded(2);
+    EXPECT_EQ(s.demandedMap().raw(), s.rawDirtyBits().raw());
+    EXPECT_TRUE(s.demandedMap().test(0));
+    EXPECT_FALSE(s.demandedMap().test(1));
+    EXPECT_TRUE(s.demandedMap().test(2));
+}
+
+TEST(PageBlockStates, MapsPartitionCorrectly)
+{
+    PageBlockStates s;
+    s.fillDemanded(0);      // demanded clean
+    s.fillPredicted(1);     // predicted only (overprediction)
+    s.fillPredicted(2);
+    s.markDemanded(2);      // demanded clean
+    s.fillDemanded(3);
+    s.markDirtyData(3);     // demanded dirty
+
+    EXPECT_EQ(s.presentMap().count(), 4u);
+    EXPECT_EQ(s.demandedMap().count(), 3u);
+    EXPECT_EQ(s.dirtyDataMap().count(), 1u);
+    EXPECT_TRUE(s.dirtyDataMap().test(3));
+    EXPECT_EQ(s.overpredictedMap().count(), 1u);
+    EXPECT_TRUE(s.overpredictedMap().test(1));
+}
+
+TEST(PageBlockStates, MarkDemandedIdempotent)
+{
+    PageBlockStates s;
+    s.fillDemanded(5);
+    s.markDemanded(5);
+    EXPECT_EQ(s.state(5), BlockState::ValidCleanDemanded);
+    s.markDirtyData(5);
+    s.markDemanded(5); // must stay dirty
+    EXPECT_EQ(s.state(5), BlockState::ValidDirtyDemanded);
+}
+
+TEST(PageBlockStates, ResetClearsAll)
+{
+    PageBlockStates s;
+    s.fillDemanded(0);
+    s.fillPredicted(9);
+    s.reset();
+    EXPECT_TRUE(s.presentMap().empty());
+    EXPECT_TRUE(s.demandedMap().empty());
+}
+
+/** Invariant sweep: dirty-data ⊆ demanded ⊆ present. */
+class BlockStateInvariant
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BlockStateInvariant, ContainmentHolds)
+{
+    // Apply a pseudo-random operation sequence driven by the seed.
+    PageBlockStates s;
+    std::uint64_t x = GetParam() * 0x9e3779b97f4a7c15ULL + 1;
+    for (int i = 0; i < 200; ++i) {
+        x ^= x >> 13;
+        x *= 0xff51afd7ed558ccdULL;
+        unsigned blk = static_cast<unsigned>(x % 32);
+        switch ((x >> 8) % 4) {
+          case 0:
+            s.fillPredicted(blk);
+            break;
+          case 1:
+            s.fillDemanded(blk);
+            break;
+          case 2:
+            if (s.present(blk))
+                s.markDemanded(blk);
+            break;
+          case 3:
+            if (s.present(blk))
+                s.markDirtyData(blk);
+            break;
+        }
+        EXPECT_EQ(s.dirtyDataMap().minus(s.demandedMap()).count(),
+                  0u);
+        EXPECT_EQ(s.demandedMap().minus(s.presentMap()).count(),
+                  0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockStateInvariant,
+                         ::testing::Range(1u, 17u));
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,77 @@
+/** @file Unit tests for the event queue. */
+
+#include <gtest/gtest.h>
+
+#include "core/event_queue.hh"
+
+namespace fpc {
+namespace {
+
+TEST(EventQueue, EmptyInitially)
+{
+    EventQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue<int> q;
+    q.schedule(30, 3);
+    q.schedule(10, 1);
+    q.schedule(20, 2);
+    EXPECT_EQ(q.pop().second, 1);
+    EXPECT_EQ(q.pop().second, 2);
+    EXPECT_EQ(q.pop().second, 3);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue<int> q;
+    q.schedule(5, 10);
+    q.schedule(5, 20);
+    q.schedule(5, 30);
+    EXPECT_EQ(q.pop().second, 10);
+    EXPECT_EQ(q.pop().second, 20);
+    EXPECT_EQ(q.pop().second, 30);
+}
+
+TEST(EventQueue, NextAccessors)
+{
+    EventQueue<int> q;
+    q.schedule(42, 7);
+    EXPECT_EQ(q.nextTime(), 42u);
+    EXPECT_EQ(q.nextPayload(), 7);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop)
+{
+    EventQueue<int> q;
+    q.schedule(10, 1);
+    q.schedule(50, 5);
+    auto [t, v] = q.pop();
+    EXPECT_EQ(t, 10u);
+    q.schedule(t + 10, 2);
+    EXPECT_EQ(q.pop().second, 2);
+    EXPECT_EQ(q.pop().second, 5);
+}
+
+TEST(EventQueue, ManyEventsStaySorted)
+{
+    EventQueue<unsigned> q;
+    std::uint64_t x = 12345;
+    for (unsigned i = 0; i < 1000; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        q.schedule(x % 10000, i);
+    }
+    Cycle last = 0;
+    while (!q.empty()) {
+        auto [t, v] = q.pop();
+        EXPECT_GE(t, last);
+        last = t;
+    }
+}
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,139 @@
+/** @file Unit tests for the experiment builder (Tables 3/4). */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+
+namespace fpc {
+namespace {
+
+TEST(ExperimentConfig, Table4TagLatencies)
+{
+    EXPECT_EQ(tagLatencyCycles(DesignKind::Footprint, 64), 4u);
+    EXPECT_EQ(tagLatencyCycles(DesignKind::Footprint, 128), 6u);
+    EXPECT_EQ(tagLatencyCycles(DesignKind::Footprint, 256), 9u);
+    EXPECT_EQ(tagLatencyCycles(DesignKind::Footprint, 512), 11u);
+    EXPECT_EQ(tagLatencyCycles(DesignKind::Page, 64), 4u);
+    EXPECT_EQ(tagLatencyCycles(DesignKind::Page, 128), 5u);
+    EXPECT_EQ(tagLatencyCycles(DesignKind::Page, 256), 6u);
+    EXPECT_EQ(tagLatencyCycles(DesignKind::Page, 512), 9u);
+}
+
+TEST(ExperimentConfig, Table4MissMap)
+{
+    EXPECT_EQ(missMapConfig(256).entries, 192u * 1024);
+    EXPECT_EQ(missMapConfig(256).assoc, 24u);
+    // §5.2: 50% larger MissMap at 512MB.
+    EXPECT_EQ(missMapConfig(512).entries, 288u * 1024);
+    EXPECT_EQ(missMapConfig(512).assoc, 36u);
+    EXPECT_EQ(missMapLatencyCycles(256), 9u);
+    EXPECT_EQ(missMapLatencyCycles(512), 11u);
+}
+
+TEST(ExperimentConfig, DesignNames)
+{
+    EXPECT_STREQ(designName(DesignKind::Baseline), "baseline");
+    EXPECT_STREQ(designName(DesignKind::Block), "block");
+    EXPECT_STREQ(designName(DesignKind::Page), "page");
+    EXPECT_STREQ(designName(DesignKind::Footprint), "footprint");
+    EXPECT_STREQ(designName(DesignKind::Ideal), "ideal");
+}
+
+TEST(Experiment, BuildsEveryDesign)
+{
+    for (DesignKind d :
+         {DesignKind::Baseline, DesignKind::Block, DesignKind::Page,
+          DesignKind::Footprint, DesignKind::Ideal}) {
+        WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
+        SyntheticTraceSource trace(spec);
+        Experiment::Config cfg;
+        cfg.design = d;
+        cfg.capacityMb = 64;
+        Experiment exp(cfg, trace);
+        RunMetrics m = exp.run(0, 20'000);
+        EXPECT_EQ(m.traceRecords, 20'000u)
+            << designName(d);
+        EXPECT_GT(m.ipc(), 0.0) << designName(d);
+    }
+}
+
+TEST(Experiment, BaselineHasNoStackedTraffic)
+{
+    WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
+    SyntheticTraceSource trace(spec);
+    Experiment::Config cfg;
+    cfg.design = DesignKind::Baseline;
+    Experiment exp(cfg, trace);
+    RunMetrics m = exp.run(0, 20'000);
+    EXPECT_EQ(m.stackedBytes, 0u);
+    EXPECT_GT(m.offchipBytes, 0u);
+}
+
+TEST(Experiment, IdealHasNoOffchipTraffic)
+{
+    WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
+    SyntheticTraceSource trace(spec);
+    Experiment::Config cfg;
+    cfg.design = DesignKind::Ideal;
+    Experiment exp(cfg, trace);
+    RunMetrics m = exp.run(0, 20'000);
+    EXPECT_EQ(m.offchipBytes, 0u);
+    EXPECT_GT(m.stackedBytes, 0u);
+    EXPECT_DOUBLE_EQ(m.missRatio(), 0.0);
+}
+
+TEST(Experiment, PageDesignUsesFullPagePolicy)
+{
+    WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
+    SyntheticTraceSource trace(spec);
+    Experiment::Config cfg;
+    cfg.design = DesignKind::Page;
+    Experiment exp(cfg, trace);
+    ASSERT_NE(exp.footprintCache(), nullptr);
+    EXPECT_EQ(exp.footprintCache()->config().fetch,
+              FetchPolicy::FullPage);
+    EXPECT_FALSE(
+        exp.footprintCache()->config().singletonOptimization);
+}
+
+TEST(Experiment, StackedChannelOverride)
+{
+    WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
+    SyntheticTraceSource trace(spec);
+    Experiment::Config cfg;
+    cfg.design = DesignKind::Ideal;
+    cfg.stackedChannels = 2;
+    Experiment exp(cfg, trace);
+    EXPECT_EQ(exp.stacked()->numChannels(), 2u);
+}
+
+TEST(Experiment, LowLatencyHalvesStackedTimings)
+{
+    WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
+    SyntheticTraceSource trace(spec);
+    Experiment::Config cfg;
+    cfg.design = DesignKind::Ideal;
+    cfg.stackedLowLatency = true;
+    Experiment exp(cfg, trace);
+    DramTimingParams normal = DramTimingParams::ddr3_3200_stacked();
+    EXPECT_EQ(exp.stacked()->config().timing.tCAS,
+              (normal.tCAS + 1) / 2);
+}
+
+TEST(Experiment, BlockDesignUsesClosedStacked)
+{
+    WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
+    SyntheticTraceSource trace(spec);
+    Experiment::Config cfg;
+    cfg.design = DesignKind::Block;
+    Experiment exp(cfg, trace);
+    EXPECT_EQ(exp.stacked()->config().timing.policy,
+              PagePolicy::Closed);
+    EXPECT_EQ(exp.stacked()->config().interleaveBytes,
+              kBlockBytes);
+    ASSERT_NE(exp.blockCache(), nullptr);
+}
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,268 @@
+/** @file Unit tests for the Footprint Cache core design. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dramcache/footprint_cache.hh"
+
+namespace fpc {
+namespace {
+
+/** Small fixture: 64KB cache (32 frames), tiny FHT/ST. */
+class FootprintCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    build(FetchPolicy fetch = FetchPolicy::Predictor,
+          bool singleton = true)
+    {
+        stacked_ = std::make_unique<DramSystem>(
+            DramSystem::Config::stackedPod());
+        offchip_ = std::make_unique<DramSystem>(
+            DramSystem::Config::offchipPod());
+        FootprintCache::Config cfg;
+        cfg.tags.capacityBytes = 64 * 1024;
+        cfg.tags.pageBytes = 2048;
+        cfg.tags.assoc = 4;
+        cfg.fht.entries = 256;
+        cfg.fht.assoc = 4;
+        cfg.st.entries = 32;
+        cfg.st.assoc = 4;
+        cfg.tagLatencyCycles = 4;
+        cfg.fetch = fetch;
+        cfg.singletonOptimization = singleton;
+        cache_ = std::make_unique<FootprintCache>(cfg, *stacked_,
+                                                  *offchip_);
+        now_ = 0;
+    }
+
+    MemSystemResult
+    access(Addr addr, Pc pc)
+    {
+        MemRequest r;
+        r.paddr = addr;
+        r.pc = pc;
+        r.op = MemOp::Read;
+        now_ += 100;
+        return cache_->access(now_, r);
+    }
+
+    std::unique_ptr<DramSystem> stacked_;
+    std::unique_ptr<DramSystem> offchip_;
+    std::unique_ptr<FootprintCache> cache_;
+    Cycle now_ = 0;
+};
+
+TEST_F(FootprintCacheTest, TriggeringMissFetchesOffchip)
+{
+    build();
+    MemSystemResult r = access(0x10040, 0x400);
+    EXPECT_FALSE(r.cacheHit);
+    EXPECT_EQ(cache_->triggeringMisses(), 1u);
+    EXPECT_EQ(offchip_->totalBlocksRead(), 1u); // untrained: 1 blk
+    EXPECT_EQ(stacked_->totalBlocksWritten(), 1u); // fill
+}
+
+TEST_F(FootprintCacheTest, DemandedBlockHitsAfterFill)
+{
+    build();
+    access(0x10040, 0x400);
+    MemSystemResult r = access(0x10040, 0x400);
+    EXPECT_TRUE(r.cacheHit);
+    EXPECT_EQ(cache_->demandHits(), 1u);
+}
+
+TEST_F(FootprintCacheTest, UnderpredictionFetchesSingleBlock)
+{
+    build();
+    access(0x10000, 0x400); // page allocated, block 0 only
+    std::uint64_t rd = offchip_->totalBlocksRead();
+    MemSystemResult r = access(0x10080, 0x404); // block 2, same pg
+    EXPECT_FALSE(r.cacheHit);
+    EXPECT_EQ(cache_->underpredictionMisses(), 1u);
+    EXPECT_EQ(offchip_->totalBlocksRead(), rd + 1);
+}
+
+TEST_F(FootprintCacheTest, LearnedFootprintIsPrefetched)
+{
+    build(FetchPolicy::Predictor, false);
+    // Visit page A with PC 0x400 at offset 1, touching blocks
+    // 1, 2, 3; evict; then page B triggered by the same (PC,
+    // offset) must prefetch the learned footprint.
+    const Addr page_a = 0x100ULL * 2048;
+    access(page_a + 1 * 64, 0x400);
+    access(page_a + 2 * 64, 0x404);
+    access(page_a + 3 * 64, 0x408);
+    // Force eviction of page A by filling its set (assoc 4; sets
+    // 8 -> same set every 8 pages).
+    for (unsigned i = 1; i <= 4; ++i)
+        access((0x100ULL + 8 * i) * 2048 + 1 * 64, 0x999 + i);
+    EXPECT_GE(cache_->pageEvictions(), 1u);
+
+    // New page, same trigger key (PC 0x400, offset 1).
+    const Addr page_b = 0x200ULL * 2048;
+    std::uint64_t trig = cache_->triggeringMisses();
+    access(page_b + 1 * 64, 0x400);
+    EXPECT_EQ(cache_->triggeringMisses(), trig + 1);
+    // Blocks 2 and 3 were prefetched: hits, not underpredictions.
+    EXPECT_TRUE(access(page_b + 2 * 64, 0x404).cacheHit);
+    EXPECT_TRUE(access(page_b + 3 * 64, 0x408).cacheHit);
+}
+
+TEST_F(FootprintCacheTest, FullPageModeFetchesWholePage)
+{
+    build(FetchPolicy::FullPage, false);
+    access(0x10000, 0x400);
+    EXPECT_EQ(offchip_->totalBlocksRead(), 32u);
+    // Every block of the page now hits.
+    for (unsigned b = 1; b < 32; ++b)
+        EXPECT_TRUE(access(0x10000 + b * 64, 0x500 + b).cacheHit);
+}
+
+TEST_F(FootprintCacheTest, DemandOnlyModeNeverPrefetches)
+{
+    build(FetchPolicy::DemandOnly, false);
+    access(0x10000, 0x400);
+    access(0x10040, 0x404);
+    EXPECT_EQ(offchip_->totalBlocksRead(), 2u);
+    EXPECT_EQ(cache_->underpredictionMisses(), 1u);
+}
+
+TEST_F(FootprintCacheTest, WritebackHitMarksDirty)
+{
+    build();
+    access(0x10000, 0x400);
+    cache_->writeback(now_ + 10, 0x10000);
+    std::uint64_t off_wr = offchip_->totalBlocksWritten();
+    // Evict the page: the dirty block must be written off chip.
+    for (unsigned i = 1; i <= 4; ++i)
+        access((0x20ULL + 8 * i) * 2048, 0x500 + i);
+    EXPECT_EQ(cache_->dirtyPageEvictions(), 1u);
+    EXPECT_EQ(offchip_->totalBlocksWritten(), off_wr + 1);
+}
+
+TEST_F(FootprintCacheTest, WritebackMissGoesOffchip)
+{
+    build();
+    std::uint64_t wr = offchip_->totalBlocksWritten();
+    cache_->writeback(100, 0x7fff0000);
+    EXPECT_EQ(offchip_->totalBlocksWritten(), wr + 1);
+    // No allocation on writebacks (§7).
+    EXPECT_EQ(cache_->tags().lookup(0x7fff0000 / 2048), nullptr);
+}
+
+TEST_F(FootprintCacheTest, WritebackToMissingBlockInstalls)
+{
+    build();
+    access(0x10000, 0x400); // only block 0 present
+    cache_->writeback(now_, 0x10000 + 5 * 64);
+    PageTagEntry *e = cache_->tags().lookup(0x10000 / 2048);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->blocks.dirtyData(5));
+}
+
+TEST_F(FootprintCacheTest, SingletonBypassAfterTraining)
+{
+    build(FetchPolicy::Predictor, true);
+    // Train key (0x700, offset 0) as a singleton: visit a page,
+    // touch one block, evict it.
+    access(0x40ULL * 2048, 0x700);
+    for (unsigned i = 1; i <= 4; ++i)
+        access((0x40ULL + 8 * i) * 2048 + 64, 0x900 + i);
+    ASSERT_GE(cache_->pageEvictions(), 1u);
+
+    // A new page with the trained singleton key bypasses.
+    std::uint64_t bypass = cache_->singletonBypasses();
+    access(0x80ULL * 2048, 0x700);
+    EXPECT_EQ(cache_->singletonBypasses(), bypass + 1);
+    EXPECT_EQ(cache_->tags().lookup(0x80), nullptr); // not alloc'd
+    EXPECT_TRUE(cache_->singletonTable().contains(0x80));
+}
+
+TEST_F(FootprintCacheTest, SingletonRecoveryOnSecondAccess)
+{
+    build(FetchPolicy::Predictor, true);
+    // Train singleton key as above.
+    access(0x40ULL * 2048, 0x700);
+    for (unsigned i = 1; i <= 4; ++i)
+        access((0x40ULL + 8 * i) * 2048 + 64, 0x900 + i);
+    access(0x80ULL * 2048, 0x700); // bypassed
+    ASSERT_TRUE(cache_->singletonTable().contains(0x80));
+
+    // Second access to the same page: ST recovery allocates it.
+    std::uint64_t rec = cache_->singletonRecoveries();
+    access(0x80ULL * 2048 + 3 * 64, 0x704);
+    EXPECT_EQ(cache_->singletonRecoveries(), rec + 1);
+    EXPECT_NE(cache_->tags().lookup(0x80), nullptr);
+    EXPECT_FALSE(cache_->singletonTable().contains(0x80));
+}
+
+TEST_F(FootprintCacheTest, UntrainedKeyNotBypassed)
+{
+    build(FetchPolicy::Predictor, true);
+    // First-ever use of a key predicts one block but must NOT be
+    // classified singleton (no feedback yet).
+    access(0x40ULL * 2048, 0x700);
+    EXPECT_EQ(cache_->singletonBypasses(), 0u);
+    EXPECT_NE(cache_->tags().lookup(0x40), nullptr);
+}
+
+TEST_F(FootprintCacheTest, AccuracyAccounting)
+{
+    build(FetchPolicy::Predictor, false);
+    // Page with blocks 0 and 1 demanded, untrained key: predicted
+    // = {0} -> covered 1, underpredicted 1 at eviction.
+    access(0x40ULL * 2048, 0x700);
+    access(0x40ULL * 2048 + 64, 0x704);
+    cache_->finalizeResidency();
+    EXPECT_EQ(cache_->coveredBlocks(), 1u);
+    EXPECT_EQ(cache_->underpredictedBlocks(), 1u);
+    EXPECT_EQ(cache_->overpredictedBlocks(), 0u);
+}
+
+TEST_F(FootprintCacheTest, OverpredictionAccounting)
+{
+    build(FetchPolicy::FullPage, false);
+    access(0x40ULL * 2048, 0x700); // fetch 32, demand 1
+    cache_->finalizeResidency();
+    EXPECT_EQ(cache_->coveredBlocks(), 1u);
+    EXPECT_EQ(cache_->overpredictedBlocks(), 31u);
+}
+
+TEST_F(FootprintCacheTest, DensityHistogram)
+{
+    build(FetchPolicy::FullPage, false);
+    access(0x40ULL * 2048, 0x700);
+    access(0x40ULL * 2048 + 64, 0x704);
+    access(0x41ULL * 2048, 0x800);
+    cache_->finalizeResidency();
+    const Histogram &h = cache_->densityHistogram();
+    EXPECT_EQ(h.totalSamples(), 2u);
+    EXPECT_EQ(h.bucket(2), 1u); // two-block page
+    EXPECT_EQ(h.bucket(1), 1u); // one-block page
+}
+
+TEST_F(FootprintCacheTest, MissRatioInterface)
+{
+    build();
+    access(0x10000, 0x400);
+    access(0x10000, 0x400);
+    access(0x10000, 0x400);
+    EXPECT_EQ(cache_->demandAccesses(), 3u);
+    EXPECT_EQ(cache_->demandHits(), 2u);
+    EXPECT_NEAR(cache_->missRatio(), 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(FootprintCacheTest, TagLatencyAppliesToHitPath)
+{
+    build();
+    access(0x10000, 0x400);
+    MemSystemResult r = access(0x10000, 0x400);
+    // Completion must be at least tagLatency + stacked access
+    // beyond `now`.
+    EXPECT_GT(r.doneAt, now_ + 4u);
+}
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,166 @@
+/** @file Unit tests for the page-granularity tag array. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/page_tag_array.hh"
+
+namespace fpc {
+namespace {
+
+PageTagArray::Config
+tinyConfig(unsigned assoc = 4)
+{
+    PageTagArray::Config cfg;
+    cfg.capacityBytes = 64 * 1024; // 32 frames of 2KB
+    cfg.pageBytes = 2048;
+    cfg.assoc = assoc;
+    return cfg;
+}
+
+TEST(PageTagArray, Geometry)
+{
+    PageTagArray tags(tinyConfig());
+    EXPECT_EQ(tags.numFrames(), 32u);
+    EXPECT_EQ(tags.numSets(), 8u);
+    EXPECT_EQ(tags.blocksPerPage(), 32u);
+}
+
+TEST(PageTagArray, LookupMissThenAllocate)
+{
+    PageTagArray tags(tinyConfig());
+    EXPECT_EQ(tags.lookup(100), nullptr);
+    PageTagArray::Victim victim;
+    PageTagEntry *e = tags.allocate(100, victim);
+    ASSERT_NE(e, nullptr);
+    EXPECT_FALSE(victim.valid);
+    EXPECT_EQ(tags.lookup(100), e);
+    EXPECT_EQ(e->pageId, 100u);
+}
+
+TEST(PageTagArray, LruVictimSelection)
+{
+    PageTagArray tags(tinyConfig(2)); // 16 sets, 2 ways
+    PageTagArray::Victim victim;
+    // Same set: pageIds congruent mod 16.
+    tags.allocate(0, victim);
+    tags.allocate(16, victim);
+    tags.lookup(0); // refresh
+    tags.allocate(32, victim);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.pageId, 16u);
+    EXPECT_NE(tags.lookup(0), nullptr);
+    EXPECT_EQ(tags.lookup(16), nullptr);
+}
+
+TEST(PageTagArray, VictimCarriesState)
+{
+    PageTagArray tags(tinyConfig(1));
+    PageTagArray::Victim victim;
+    PageTagEntry *e = tags.allocate(0, victim);
+    e->blocks.fillDemanded(3);
+    e->blocks.markDirtyData(3);
+    e->predicted = BlockBitmap::firstN(4);
+    e->fht = FhtRef{1, 2, 3, true};
+    std::uint64_t frame = tags.frameIndex(e);
+
+    tags.allocate(tags.numSets(), victim); // evicts pageId 0
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.pageId, 0u);
+    EXPECT_TRUE(victim.blocks.dirtyData(3));
+    EXPECT_EQ(victim.predicted.count(), 4u);
+    EXPECT_TRUE(victim.fht.valid);
+    EXPECT_EQ(victim.fht.set, 1u);
+    EXPECT_EQ(victim.frame, frame);
+}
+
+TEST(PageTagArray, AllocateResetsEntry)
+{
+    PageTagArray tags(tinyConfig(1));
+    PageTagArray::Victim victim;
+    PageTagEntry *e = tags.allocate(0, victim);
+    e->blocks.fillDemanded(1);
+    e->predicted = BlockBitmap::firstN(8);
+    tags.allocate(tags.numSets(), victim);
+    PageTagEntry *f = tags.lookup(tags.numSets());
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->blocks.presentMap().empty());
+    EXPECT_TRUE(f->predicted.empty());
+    EXPECT_FALSE(f->fht.valid);
+}
+
+TEST(PageTagArray, FrameAddressing)
+{
+    PageTagArray tags(tinyConfig());
+    PageTagArray::Victim victim;
+    PageTagEntry *e = tags.allocate(5, victim);
+    std::uint64_t frame = tags.frameIndex(e);
+    EXPECT_LT(frame, tags.numFrames());
+    EXPECT_EQ(tags.frameAddr(frame), frame * 2048);
+}
+
+TEST(PageTagArray, LookupWithoutTouchKeepsLru)
+{
+    PageTagArray tags(tinyConfig(2));
+    PageTagArray::Victim victim;
+    tags.allocate(0, victim);
+    tags.allocate(16, victim);
+    tags.lookup(0, /*touch=*/false); // must NOT refresh
+    tags.allocate(32, victim);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.pageId, 0u);
+}
+
+TEST(PageTagArray, StorageBitsMatchTable4Scale)
+{
+    // Footprint Cache, 64MB, 2KB pages: Table 4 reports 0.40MB.
+    PageTagArray::Config cfg;
+    cfg.capacityBytes = 64ULL << 20;
+    cfg.pageBytes = 2048;
+    cfg.assoc = 16;
+    PageTagArray tags(cfg);
+    const double mb =
+        static_cast<double>(tags.storageBits(40, true, true)) /
+        (8.0 * 1024 * 1024);
+    EXPECT_GT(mb, 0.3);
+    EXPECT_LT(mb, 0.55);
+
+    // Page-based needs less (no second vector, no FHT pointer).
+    const double page_mb =
+        static_cast<double>(tags.storageBits(40, false, false)) /
+        (8.0 * 1024 * 1024);
+    EXPECT_LT(page_mb, mb);
+}
+
+TEST(PageTagArray, ForEachValidVisitsAll)
+{
+    PageTagArray tags(tinyConfig());
+    PageTagArray::Victim victim;
+    tags.allocate(1, victim);
+    tags.allocate(2, victim);
+    tags.allocate(3, victim);
+    unsigned count = 0;
+    tags.forEachValid([&](const PageTagEntry &) { ++count; });
+    EXPECT_EQ(count, 3u);
+}
+
+/** Page-size sweep (Figure 8 configurations). */
+class TagArrayPageSize : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TagArrayPageSize, GeometryConsistent)
+{
+    PageTagArray::Config cfg;
+    cfg.capacityBytes = 1ULL << 20;
+    cfg.pageBytes = GetParam();
+    cfg.assoc = 8;
+    PageTagArray tags(cfg);
+    EXPECT_EQ(tags.numFrames() * GetParam(), 1ULL << 20);
+    EXPECT_EQ(tags.blocksPerPage(), GetParam() / 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TagArrayPageSize,
+                         ::testing::Values(1024, 2048, 4096));
+
+} // namespace
+} // namespace fpc

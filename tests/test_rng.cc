@@ -1,0 +1,152 @@
+/** @file Unit tests for the deterministic RNG and Zipf sampler. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace fpc {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 10; ++i)
+        differ |= (a.next() != b.next());
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(9);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(19);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Zipf, SingleElement)
+{
+    Rng r(1);
+    ZipfSampler z(1, 1.0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(z(r), 0u);
+}
+
+TEST(Zipf, UniformWhenExponentZero)
+{
+    Rng r(23);
+    ZipfSampler z(10, 0.0);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z(r)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+}
+
+TEST(Zipf, InRange)
+{
+    Rng r(29);
+    ZipfSampler z(1000, 0.8);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z(r), 1000u);
+}
+
+/** Head items must be sampled more often than tail items. */
+class ZipfSkew : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkew, HeadBeatsTail)
+{
+    Rng r(31);
+    const std::uint64_t n = 10000;
+    ZipfSampler z(n, GetParam());
+    std::uint64_t head = 0, tail = 0;
+    for (int i = 0; i < 200000; ++i) {
+        std::uint64_t v = z(r);
+        if (v < n / 10)
+            ++head;
+        if (v >= 9 * n / 10)
+            ++tail;
+    }
+    EXPECT_GT(head, tail);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSkew,
+                         ::testing::Values(0.3, 0.6, 0.9, 1.0,
+                                           1.2));
+
+TEST(Mix64, DifferentInputsScatter)
+{
+    // A weak avalanche check: neighbours must not collide.
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        EXPECT_NE(mix64(i), mix64(i + 1));
+}
+
+} // namespace
+} // namespace fpc

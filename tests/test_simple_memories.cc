@@ -1,0 +1,87 @@
+/** @file Unit tests for the baseline and ideal memory systems. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/simple_memories.hh"
+
+namespace fpc {
+namespace {
+
+MemRequest
+req(Addr a)
+{
+    MemRequest r;
+    r.paddr = a;
+    r.op = MemOp::Read;
+    return r;
+}
+
+TEST(NoCacheMemory, AllAccessesGoOffchip)
+{
+    DramSystem off(DramSystem::Config::offchipPod());
+    NoCacheMemory mem(off);
+    MemSystemResult r = mem.access(100, req(0x1000));
+    EXPECT_FALSE(r.cacheHit);
+    EXPECT_GT(r.doneAt, 100u);
+    EXPECT_EQ(off.totalBlocksRead(), 1u);
+    EXPECT_EQ(mem.demandAccesses(), 1u);
+    EXPECT_EQ(mem.demandHits(), 0u);
+    EXPECT_DOUBLE_EQ(mem.missRatio(), 1.0);
+}
+
+TEST(NoCacheMemory, WritebacksGoOffchip)
+{
+    DramSystem off(DramSystem::Config::offchipPod());
+    NoCacheMemory mem(off);
+    mem.writeback(100, 0x2000);
+    EXPECT_EQ(off.totalBlocksWritten(), 1u);
+}
+
+TEST(IdealCache, EverythingHits)
+{
+    DramSystem off(DramSystem::Config::offchipPod());
+    DramSystem stk(DramSystem::Config::stackedPod());
+    IdealCache mem(stk, 256ULL << 20);
+    for (unsigned i = 0; i < 10; ++i) {
+        MemSystemResult r =
+            mem.access(i * 1000, req(0x123400000ULL + i * 64));
+        EXPECT_TRUE(r.cacheHit);
+    }
+    EXPECT_DOUBLE_EQ(mem.missRatio(), 0.0);
+    EXPECT_EQ(stk.totalBlocksRead(), 10u);
+    EXPECT_EQ(off.totalBytes(), 0u); // never off chip
+}
+
+TEST(IdealCache, FoldsAddressesIntoCapacity)
+{
+    DramSystem stk(DramSystem::Config::stackedPod());
+    IdealCache mem(stk, 1ULL << 20);
+    // Two addresses 1MB apart fold to the same stacked location:
+    // the second access row-hits.
+    mem.access(0, req(0x40));
+    mem.access(100000, req(0x40 + (1ULL << 20)));
+    EXPECT_EQ(stk.totalActivates(), 1u);
+    EXPECT_EQ(stk.totalRowHits(), 1u);
+}
+
+TEST(IdealCache, WritebacksStayOnChip)
+{
+    DramSystem stk(DramSystem::Config::stackedPod());
+    IdealCache mem(stk, 1ULL << 20);
+    mem.writeback(0, 0x1000);
+    EXPECT_EQ(stk.totalBlocksWritten(), 1u);
+}
+
+TEST(IdealCache, FasterThanOffchip)
+{
+    DramSystem off(DramSystem::Config::offchipPod());
+    DramSystem stk(DramSystem::Config::stackedPod());
+    NoCacheMemory base(off);
+    IdealCache ideal(stk, 256ULL << 20);
+    Cycle base_done = base.access(0, req(0x1000)).doneAt;
+    Cycle ideal_done = ideal.access(0, req(0x1000)).doneAt;
+    EXPECT_LT(ideal_done, base_done);
+}
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,97 @@
+/** @file Unit tests for the Singleton Table (§4.4). */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/singleton_table.hh"
+
+namespace fpc {
+namespace {
+
+SingletonTable::Config
+tinyConfig()
+{
+    SingletonTable::Config cfg;
+    cfg.entries = 32;
+    cfg.assoc = 4;
+    return cfg;
+}
+
+TEST(SingletonTable, InsertAndContains)
+{
+    SingletonTable st(tinyConfig());
+    EXPECT_FALSE(st.contains(7));
+    st.insert(7, 0x400, 3);
+    EXPECT_TRUE(st.contains(7));
+    EXPECT_EQ(st.inserts(), 1u);
+}
+
+TEST(SingletonTable, ConsumeReturnsContextAndInvalidates)
+{
+    SingletonTable st(tinyConfig());
+    st.insert(7, 0x400, 3);
+    SingletonTable::Entry e;
+    ASSERT_TRUE(st.consume(7, e));
+    EXPECT_EQ(e.pageId, 7u);
+    EXPECT_EQ(e.pc, 0x400u);
+    EXPECT_EQ(e.offset, 3u);
+    // Consumed: entry is gone.
+    EXPECT_FALSE(st.contains(7));
+    EXPECT_FALSE(st.consume(7, e));
+    EXPECT_EQ(st.consumed(), 1u);
+}
+
+TEST(SingletonTable, MissReturnsFalse)
+{
+    SingletonTable st(tinyConfig());
+    SingletonTable::Entry e;
+    EXPECT_FALSE(st.consume(99, e));
+}
+
+TEST(SingletonTable, LruEvictionUnderPressure)
+{
+    SingletonTable st(tinyConfig());
+    for (unsigned i = 0; i < 1000; ++i)
+        st.insert(i, 0x400 + i, i % 32);
+    EXPECT_GT(st.evictions(), 0u);
+    // The most recent insert survives.
+    EXPECT_TRUE(st.contains(999));
+}
+
+TEST(SingletonTable, ReinsertUpdatesContext)
+{
+    SingletonTable st(tinyConfig());
+    st.insert(7, 0x400, 3);
+    st.insert(7, 0x500, 9);
+    SingletonTable::Entry e;
+    ASSERT_TRUE(st.consume(7, e));
+    // Both entries may coexist in the set; the consumed one must
+    // be a recorded context for page 7.
+    EXPECT_EQ(e.pageId, 7u);
+}
+
+TEST(SingletonTable, StorageIsSmall)
+{
+    // Paper: 512 entries ~= 3KB.
+    SingletonTable::Config cfg;
+    cfg.entries = 512;
+    cfg.assoc = 8;
+    SingletonTable st(cfg);
+    const double kb =
+        static_cast<double>(st.storageBits(40)) / (8.0 * 1024);
+    EXPECT_GT(kb, 2.0);
+    EXPECT_LT(kb, 5.0);
+}
+
+TEST(SingletonTable, DistinctPagesIndependent)
+{
+    SingletonTable st(tinyConfig());
+    st.insert(1, 0x100, 1);
+    st.insert(2, 0x200, 2);
+    SingletonTable::Entry e;
+    ASSERT_TRUE(st.consume(2, e));
+    EXPECT_EQ(e.pc, 0x200u);
+    EXPECT_TRUE(st.contains(1));
+}
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,114 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace fpc {
+namespace {
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    c += 5;
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accum, AddAndReset)
+{
+    Accum a;
+    a.add(1.5);
+    a.add(2.5);
+    EXPECT_DOUBLE_EQ(a.value(), 4.0);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10, 4); // buckets [0,10) [10,20) [20,30) [30,40) +of
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(40);  // overflow
+    h.sample(400); // overflow
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(4), 2u);
+    EXPECT_EQ(h.totalSamples(), 6u);
+}
+
+TEST(Histogram, WeightedSamplesAndMean)
+{
+    Histogram h(1, 10);
+    h.sample(2, 3); // three samples of value 2
+    h.sample(8, 1);
+    EXPECT_EQ(h.totalSamples(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 8.0) / 4.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(1, 4);
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatGroup, FindAndDump)
+{
+    StatGroup g("grp");
+    Counter c;
+    Accum a;
+    g.regCounter(&c, "events", "number of events");
+    g.regAccum(&a, "energy", "energy in nJ");
+    c.inc(42);
+    a.add(3.25);
+
+    EXPECT_EQ(g.findCounter("events"), &c);
+    EXPECT_EQ(g.findCounter("missing"), nullptr);
+    EXPECT_EQ(g.findAccum("energy"), &a);
+    EXPECT_EQ(g.findAccum("events"), nullptr);
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("grp.events 42"), std::string::npos);
+    EXPECT_NE(out.find("grp.energy"), std::string::npos);
+    EXPECT_NE(out.find("number of events"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAll)
+{
+    StatGroup g("grp");
+    Counter c;
+    Accum a;
+    g.regCounter(&c, "c", "");
+    g.regAccum(&a, "a", "");
+    c.inc(7);
+    a.add(7.0);
+    g.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+} // namespace
+} // namespace fpc
