@@ -5,8 +5,9 @@
  * parallel runner, and aligned table printing.
  *
  * Every bench accepts:
- *   --quick        quarter-size run windows (CI-friendly)
- *   --scale F      multiply run windows by F (default 1.0)
+ *   --quick        scale 0.1: one quarter of the default 0.4
+ *                  run windows (CI-friendly)
+ *   --scale F      multiply run windows by F (default 0.4)
  *   --seed N       workload seed
  */
 
@@ -46,7 +47,8 @@ struct BenchArgs
         BenchArgs args;
         for (int i = 1; i < argc; ++i) {
             if (!std::strcmp(argv[i], "--quick")) {
-                args.scale = 0.25;
+                // A quarter of the 0.4 default, not 0.25 absolute.
+                args.scale = 0.1;
             } else if (!std::strcmp(argv[i], "--scale") &&
                        i + 1 < argc) {
                 args.scale = std::atof(argv[++i]);

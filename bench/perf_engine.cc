@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Engine performance harness for the two-phase simulation engine.
+ *
+ * For every memory-system design it runs the same 512MB workload
+ * three ways:
+ *
+ *  - functional: the two-phase engine (lightweight warmup loop,
+ *    SimMode::Functional — no DRAM timing/energy during warmup);
+ *  - timed: the same lightweight warmup loop with the full DRAM
+ *    model (SimMode::Timed) — used to verify that measured-phase
+ *    metrics are bit-identical across the two warmup modes;
+ *  - all-timed: the legacy engine path, warmup driven through the
+ *    full event-queue OoO/MLP timing loop — the wall-clock
+ *    baseline the two-phase engine replaces.
+ *
+ * Warmup and measurement phases are timed separately; the run is
+ * deliberately warmup-dominated (full capacity-scaled warmup
+ * window, quarter measurement window), as the Figure 6/9/Table 1
+ * sweeps are. Results go to stdout and to BENCH_engine.json
+ * (records/sec per phase per design), committed as the perf
+ * trajectory across PRs.
+ *
+ * Flags: the common set (--quick, --scale, --seed, --workload)
+ * plus --out FILE for the JSON path and --reference-seconds S, an
+ * externally measured wall-clock for the same footprint run on an
+ * all-timed reference engine (scripts/bench_seed_baseline.sh
+ * measures the pre-two-phase seed revision); when given, the
+ * speedup against that reference is reported too.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace fpcbench;
+
+namespace {
+
+struct PhaseTimes
+{
+    double warmupSeconds = 0.0;
+    double measureSeconds = 0.0;
+    std::uint64_t warmupRecords = 0;
+    std::uint64_t measureRecords = 0;
+    RunMetrics metrics;
+    /* Footprint-cache cumulative counters (state equivalence). */
+    bool hasFootprint = false;
+    std::uint64_t covered = 0;
+    std::uint64_t underpred = 0;
+    std::uint64_t overpred = 0;
+    std::uint64_t trigMisses = 0;
+
+    double
+    warmupRecsPerSec() const
+    {
+        return warmupSeconds > 0.0 ? warmupRecords / warmupSeconds
+                                   : 0.0;
+    }
+
+    double
+    measureRecsPerSec() const
+    {
+        return measureSeconds > 0.0
+                   ? measureRecords / measureSeconds
+                   : 0.0;
+    }
+
+    double
+    totalSeconds() const
+    {
+        return warmupSeconds + measureSeconds;
+    }
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Warmup configuration of one run. */
+enum class EngineMode
+{
+    Functional, //!< two-phase, functional warmup
+    Timed,      //!< two-phase, timed warmup (equivalence check)
+    AllTimed,   //!< legacy all-timed event-queue warmup
+};
+
+const char *
+engineModeName(EngineMode mode)
+{
+    switch (mode) {
+      case EngineMode::Functional:
+        return "functional";
+      case EngineMode::Timed:
+        return "timed";
+      case EngineMode::AllTimed:
+        return "all_timed";
+    }
+    return "?";
+}
+
+PhaseTimes
+runPhased(WorkloadKind wk, DesignKind design, EngineMode mode,
+          double scale, std::uint64_t seed,
+          std::uint64_t capacity_mb)
+{
+    Experiment::Config cfg;
+    cfg.design = design;
+    cfg.capacityMb = capacity_mb;
+    cfg.pod.warmupMode = mode == EngineMode::Functional
+                             ? SimMode::Functional
+                             : SimMode::Timed;
+    cfg.pod.allTimedWarmup = mode == EngineMode::AllTimed;
+
+    WorkloadSpec spec = makeWorkload(wk, cfg.pageBytes, seed);
+    SyntheticTraceSource trace(spec);
+    Experiment exp(cfg, trace);
+
+    PhaseTimes out;
+    out.warmupRecords = design == DesignKind::Baseline
+                            ? warmupRecords(64, scale)
+                            : warmupRecords(capacity_mb, scale);
+    // Warmup-dominated by design: the measurement window only has
+    // to be large enough for stable rates.
+    out.measureRecords = measureRecords(scale) / 4;
+
+    auto t0 = std::chrono::steady_clock::now();
+    exp.run(out.warmupRecords, 0);
+    out.warmupSeconds = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    out.metrics = exp.run(0, out.measureRecords);
+    out.measureSeconds = secondsSince(t0);
+
+    if (FootprintCache *fc = exp.footprintCache()) {
+        fc->finalizeResidency();
+        out.hasFootprint = true;
+        out.covered = fc->coveredBlocks();
+        out.underpred = fc->underpredictedBlocks();
+        out.overpred = fc->overpredictedBlocks();
+        out.trigMisses = fc->triggeringMisses();
+    }
+    return out;
+}
+
+bool
+measuredIdentical(const PhaseTimes &a, const PhaseTimes &b)
+{
+    const RunMetrics &x = a.metrics;
+    const RunMetrics &y = b.metrics;
+    return x.instructions == y.instructions &&
+           x.cycles == y.cycles &&
+           x.traceRecords == y.traceRecords &&
+           x.llcMisses == y.llcMisses &&
+           x.demandAccesses == y.demandAccesses &&
+           x.demandHits == y.demandHits &&
+           x.offchipBytes == y.offchipBytes &&
+           x.stackedBytes == y.stackedBytes &&
+           x.offchipActs == y.offchipActs &&
+           x.stackedActs == y.stackedActs &&
+           a.covered == b.covered && a.underpred == b.underpred &&
+           a.overpred == b.overpred &&
+           a.trigMisses == b.trigMisses;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_engine.json";
+    double reference_seconds = 0.0;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--reference-seconds") &&
+                   i + 1 < argc) {
+            reference_seconds = std::atof(argv[++i]);
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    BenchArgs args =
+        BenchArgs::parse(static_cast<int>(rest.size()),
+                         rest.data());
+
+    const std::uint64_t capacity_mb = 512;
+    const WorkloadKind wk = args.workloads().empty()
+                                ? WorkloadKind::WebSearch
+                                : args.workloads().front();
+
+    // The external reference (scripts/bench_seed_baseline.sh) is
+    // measured at scale 1.0 on DataServing with the default seed;
+    // refuse to compare against a differently-configured run.
+    if (reference_seconds > 0.0 &&
+        (args.scale != 1.0 || wk != WorkloadKind::DataServing ||
+         args.seed != 42)) {
+        std::fprintf(stderr,
+                     "--reference-seconds requires the reference "
+                     "configuration (--scale 1.0, DataServing, "
+                     "seed 42); ignoring the reference\n");
+        reference_seconds = 0.0;
+    }
+
+    const DesignKind designs[] = {
+        DesignKind::Baseline, DesignKind::Block, DesignKind::Page,
+        DesignKind::Footprint, DesignKind::Ideal};
+
+    printHeader("two-phase engine performance");
+    std::printf("workload %s, %lluMB, scale %.2f, seed %llu\n",
+                workloadName(wk),
+                static_cast<unsigned long long>(capacity_mb),
+                args.scale,
+                static_cast<unsigned long long>(args.seed));
+    std::printf("  %-10s %14s %14s %14s %9s %6s\n", "design",
+                "warm func r/s", "warm timed r/s", "warm legacy r/s",
+                "speedup", "ident");
+
+    std::FILE *json = std::fopen(out_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"bench\": \"perf_engine\",\n");
+    std::fprintf(json, "  \"workload\": \"%s\",\n",
+                 workloadName(wk));
+    std::fprintf(json, "  \"capacity_mb\": %llu,\n",
+                 static_cast<unsigned long long>(capacity_mb));
+    std::fprintf(json, "  \"scale\": %.4f,\n", args.scale);
+    std::fprintf(json, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(args.seed));
+    std::fprintf(json, "  \"designs\": {\n");
+
+    bool all_identical = true;
+    double footprint_speedup = 0.0;
+    double footprint_seconds = 0.0;
+    bool first_design = true;
+
+    for (DesignKind d : designs) {
+        PhaseTimes res[3];
+        for (EngineMode mode :
+             {EngineMode::Functional, EngineMode::Timed,
+              EngineMode::AllTimed}) {
+            res[static_cast<int>(mode)] =
+                runPhased(wk, d, mode, args.scale, args.seed,
+                          capacity_mb);
+        }
+        const PhaseTimes &func = res[0];
+        const PhaseTimes &timed = res[1];
+        const PhaseTimes &legacy = res[2];
+
+        const bool identical = measuredIdentical(func, timed);
+        all_identical = all_identical && identical;
+        const double speedup =
+            func.totalSeconds() > 0.0
+                ? legacy.totalSeconds() / func.totalSeconds()
+                : 0.0;
+        if (d == DesignKind::Footprint) {
+            footprint_speedup = speedup;
+            footprint_seconds = func.totalSeconds();
+        }
+
+        std::printf("  %-10s %14.0f %14.0f %14.0f %8.2fx %6s\n",
+                    designName(d), func.warmupRecsPerSec(),
+                    timed.warmupRecsPerSec(),
+                    legacy.warmupRecsPerSec(), speedup,
+                    identical ? "yes" : "NO");
+
+        if (!first_design)
+            std::fprintf(json, ",\n");
+        first_design = false;
+        std::fprintf(json, "    \"%s\": {\n", designName(d));
+        for (EngineMode mode :
+             {EngineMode::Functional, EngineMode::Timed,
+              EngineMode::AllTimed}) {
+            const PhaseTimes &r = res[static_cast<int>(mode)];
+            std::fprintf(
+                json,
+                "      \"%s\": {\"warmup_records\": %llu, "
+                "\"warmup_seconds\": %.4f, "
+                "\"warmup_records_per_sec\": %.0f, "
+                "\"measure_records\": %llu, "
+                "\"measure_seconds\": %.4f, "
+                "\"measure_records_per_sec\": %.0f},\n",
+                engineModeName(mode),
+                static_cast<unsigned long long>(r.warmupRecords),
+                r.warmupSeconds, r.warmupRecsPerSec(),
+                static_cast<unsigned long long>(
+                    r.measureRecords),
+                r.measureSeconds, r.measureRecsPerSec());
+        }
+        std::fprintf(json,
+                     "      \"wallclock_speedup\": %.3f,\n",
+                     speedup);
+        std::fprintf(json,
+                     "      \"measured_metrics_identical\": %s,\n",
+                     identical ? "true" : "false");
+        std::fprintf(json,
+                     "      \"measured\": {\"ipc\": %.5f, "
+                     "\"miss_ratio\": %.5f, \"mpki\": %.4f}\n",
+                     func.metrics.ipc(), func.metrics.missRatio(),
+                     func.metrics.instructions
+                         ? 1000.0 * func.metrics.llcMisses /
+                               func.metrics.instructions
+                         : 0.0);
+        std::fprintf(json, "    }");
+    }
+    std::fprintf(json, "\n  },\n");
+    std::fprintf(json,
+                 "  \"footprint_wallclock_speedup\": %.3f,\n",
+                 footprint_speedup);
+    if (reference_seconds > 0.0 && footprint_seconds > 0.0) {
+        std::fprintf(json,
+                     "  \"reference_all_timed_seconds\": %.3f,\n",
+                     reference_seconds);
+        std::fprintf(
+            json,
+            "  \"footprint_speedup_vs_reference\": %.3f,\n",
+            reference_seconds / footprint_seconds);
+    }
+    std::fprintf(json, "  \"all_measured_identical\": %s\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+
+    std::printf("\nfootprint 512MB wall-clock speedup "
+                "(two-phase vs all-timed, this binary): %.2fx\n",
+                footprint_speedup);
+    if (reference_seconds > 0.0 && footprint_seconds > 0.0) {
+        std::printf("footprint 512MB wall-clock speedup vs "
+                    "reference all-timed engine (%.2fs): %.2fx\n",
+                    reference_seconds,
+                    reference_seconds / footprint_seconds);
+    }
+    std::printf("measured metrics identical across warmup modes: "
+                "%s\n",
+                all_identical ? "yes" : "NO");
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!all_identical)
+        return 1;
+    return 0;
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Measure the all-timed reference engine: build a given revision
+# (default: the seed, whose engine ran warmup through the full
+# timing loop with no functional mode) in a temporary git worktree
+# using the current CMakeLists, and time the same warmup-dominated
+# 512MB footprint-cache run that bench/perf_engine uses at scale
+# 1.0. The printed seconds can be fed back to
+#   perf_engine --reference-seconds S
+# so the engine speedup against the pre-two-phase baseline lands in
+# BENCH_engine.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REV="${1:-c7fc2a4}"
+WORKTREE="$(mktemp -d)/ref"
+JOBS="${JOBS:-$(nproc)}"
+
+cleanup() { git worktree remove --force "$WORKTREE" 2>/dev/null || true; }
+trap cleanup EXIT
+
+git worktree add "$WORKTREE" "$REV" >/dev/null
+# The seed has no build system; reuse ours (library only).
+cp CMakeLists.txt "$WORKTREE"/
+cmake -B "$WORKTREE/build" -S "$WORKTREE" -DFPC_BUILD_TESTS=OFF \
+    -DFPC_BUILD_BENCHES=OFF -DFPC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$WORKTREE/build" -j "$JOBS" >/dev/null
+
+# Window sizes must match bench/perf_engine at scale 1.0; they are
+# computed here from the same formulas as bench/bench_common.hh's
+# warmupRecords()/measureRecords() (warmup 4.0e6 + 60.0e3 * MB,
+# measure 8.0e6, quartered by perf_engine) and passed into the
+# driver, so a retune of bench_common.hh only has to update this
+# one spot.
+REF_WARMUP=$((4000000 + 60000 * 512))
+REF_MEASURE=$((8000000 / 4))
+
+DRIVER="$WORKTREE/engine_reference.cc"
+cat > "$DRIVER" <<'EOF'
+#include <chrono>
+#include <cstdio>
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+using namespace fpc;
+int main() {
+    const std::uint64_t W = FPC_REF_WARMUP;
+    const std::uint64_t M = FPC_REF_MEASURE;
+    Experiment::Config cfg;
+    cfg.design = DesignKind::Footprint;
+    cfg.capacityMb = 512;
+    WorkloadSpec spec =
+        makeWorkload(WorkloadKind::DataServing, 2048, 42);
+    SyntheticTraceSource trace(spec);
+    Experiment exp(cfg, trace);
+    auto t0 = std::chrono::steady_clock::now();
+    exp.run(W, M);
+    const double dt =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("%.3f\n", dt);
+    return 0;
+}
+EOF
+g++ -O3 -std=c++20 -I"$WORKTREE/src" \
+    -DFPC_REF_WARMUP="${REF_WARMUP}ULL" \
+    -DFPC_REF_MEASURE="${REF_MEASURE}ULL" "$DRIVER" \
+    "$WORKTREE/build/libfpc.a" -o "$WORKTREE/engine_reference"
+echo "reference ($REV) footprint 512MB warmup-dominated run, seconds:" >&2
+"$WORKTREE/engine_reference"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the unit tests, and run
+# the engine perf bench in its quick configuration (which also
+# verifies warmup-mode equivalence end to end).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+"$BUILD_DIR"/perf_engine --quick --out "$BUILD_DIR"/BENCH_engine_quick.json

@@ -22,11 +22,14 @@ CacheHierarchy::CacheHierarchy(const Config &config)
     : config_(config), stats_("hierarchy")
 {
     FPC_ASSERT(config_.numCores > 0);
+    FPC_ASSERT(config_.numCores <= 32); // presence mask width
     for (unsigned c = 0; c < config_.numCores; ++c) {
         l1d_.push_back(std::make_unique<SetAssocCache>(
             config_.l1, "l1d" + std::to_string(c)));
     }
     l2_ = std::make_unique<SetAssocCache>(config_.l2, "l2");
+    l1_presence_.assign(
+        config_.l2.sizeBytes / config_.l2.blockBytes, 0);
 
     stats_.regCounter(&l1_hits_, "l1_hits", "aggregate L1D hits");
     stats_.regCounter(&l1_misses_, "l1_misses",
@@ -39,14 +42,19 @@ CacheHierarchy::CacheHierarchy(const Config &config)
 
 void
 CacheHierarchy::backInvalidate(Addr addr, bool l2_dirty,
+                               std::uint32_t present_mask,
                                HierarchyOutcome &out)
 {
-    // Inclusive L2: evicting a line removes it from every L1D. A
-    // dirty copy at either level makes this a memory writeback.
+    // Inclusive L2: evicting a line removes it from every L1D that
+    // may hold it (the presence mask is a conservative superset).
+    // A dirty copy at either level makes this a memory writeback.
     bool dirty = l2_dirty;
-    for (auto &l1 : l1d_) {
+    while (present_mask != 0) {
+        const unsigned c = static_cast<unsigned>(
+            __builtin_ctz(present_mask));
+        present_mask &= present_mask - 1;
         bool was_dirty = false;
-        if (l1->invalidate(addr, was_dirty))
+        if (l1d_[c]->invalidate(addr, was_dirty))
             dirty |= was_dirty;
     }
     if (dirty) {
@@ -63,6 +71,7 @@ CacheHierarchy::access(const MemRequest &req)
     HierarchyOutcome out;
     const Addr block = blockAlign(req.paddr);
     const bool is_write = req.op == MemOp::Write;
+    const std::uint32_t core_bit = 1u << req.coreId;
 
     CacheAccessResult r1 = l1d_[req.coreId]->access(block, is_write);
     if (r1.hit) {
@@ -76,19 +85,32 @@ CacheHierarchy::access(const MemRequest &req)
     // that the inclusion invariant keeps this a guaranteed L2 hit.
     if (r1.victimValid && r1.victimDirty) {
         CacheAccessResult wb = l2_->access(r1.victimAddr, true);
-        if (!wb.hit && wb.victimValid)
-            backInvalidate(wb.victimAddr, wb.victimDirty, out);
+        if (wb.hit) {
+            // The issuing core's L1 just evicted its copy.
+            l1_presence_[wb.lineIndex] &= ~core_bit;
+        } else {
+            const std::uint32_t victim_mask =
+                l1_presence_[wb.lineIndex];
+            l1_presence_[wb.lineIndex] = 0;
+            if (wb.victimValid)
+                backInvalidate(wb.victimAddr, wb.victimDirty,
+                               victim_mask, out);
+        }
     }
 
     CacheAccessResult r2 = l2_->access(block, false);
     if (r2.hit) {
         out.l2Hit = true;
+        l1_presence_[r2.lineIndex] |= core_bit;
         l2_hits_.inc();
         return out;
     }
     l2_misses_.inc();
+    const std::uint32_t victim_mask = l1_presence_[r2.lineIndex];
+    l1_presence_[r2.lineIndex] = core_bit;
     if (r2.victimValid)
-        backInvalidate(r2.victimAddr, r2.victimDirty, out);
+        backInvalidate(r2.victimAddr, r2.victimDirty, victim_mask,
+                       out);
     return out;
 }
 

@@ -35,8 +35,12 @@ struct HierarchyOutcome
     /** Number of dirty-line writebacks emitted towards memory. */
     unsigned numWritebacks = 0;
 
-    /** Block-aligned addresses of the emitted writebacks. */
-    std::array<Addr, 3> writebackAddr{};
+    /**
+     * Block-aligned addresses of the emitted writebacks. Only
+     * entries [0, numWritebacks) are valid (the tail is left
+     * uninitialized — this struct is built on every access).
+     */
+    std::array<Addr, 3> writebackAddr;
 
     /** True when the access must be served below the L2. */
     bool llcMiss() const { return !l1Hit && !l2Hit; }
@@ -79,11 +83,21 @@ class CacheHierarchy
 
   private:
     void backInvalidate(Addr addr, bool l2_dirty,
+                        std::uint32_t present_mask,
                         HierarchyOutcome &out);
 
     Config config_;
     std::vector<std::unique_ptr<SetAssocCache>> l1d_;
     std::unique_ptr<SetAssocCache> l2_;
+
+    /**
+     * Per-L2-line bitmask of cores whose L1D may hold the block —
+     * a conservative superset (bits go stale when an L1 silently
+     * evicts). Back-invalidation probes only flagged cores instead
+     * of all of them; unflagged cores cannot hold the line, so the
+     * outcome is identical to probing everyone.
+     */
+    std::vector<std::uint32_t> l1_presence_;
 
     StatGroup stats_;
     Counter l1_hits_;

@@ -25,7 +25,10 @@ SetAssocCache::SetAssocCache(const Config &config,
     if (!isPowerOf2(num_sets_))
         fatal("number of cache sets must be a power of two");
     block_shift_ = floorLog2(config_.blockBytes);
-    lines_.resize(num_lines);
+    set_bits_ = floorLog2(num_sets_);
+    set_mask_ = num_sets_ - 1;
+    keys_.assign(num_lines, kNoTag);
+    meta_.resize(num_lines);
 
     stats_.regCounter(&hits_, "hits", "demand hits");
     stats_.regCounter(&misses_, "misses", "demand misses");
@@ -35,112 +38,71 @@ SetAssocCache::SetAssocCache(const Config &config,
                       "dirty lines evicted");
 }
 
-std::uint64_t
-SetAssocCache::setIndex(Addr addr) const
-{
-    return (addr >> block_shift_) & (num_sets_ - 1);
-}
-
-Addr
-SetAssocCache::tagOf(Addr addr) const
-{
-    return addr >> block_shift_ >> floorLog2(num_sets_);
-}
-
-Addr
-SetAssocCache::rebuildAddr(Addr tag, std::uint64_t set) const
-{
-    return ((tag << floorLog2(num_sets_)) | set) << block_shift_;
-}
-
-unsigned
-SetAssocCache::pickVictim(std::uint64_t set)
-{
-    const std::size_t base = set * config_.assoc;
-    // Prefer an invalid way.
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        if (!lines_[base + w].valid)
-            return w;
-    }
-    if (config_.repl == ReplPolicy::Random)
-        return static_cast<unsigned>(
-            splitMix64(rand_state_) % config_.assoc);
-    unsigned victim = 0;
-    std::uint64_t oldest = lines_[base].lastUse;
-    for (unsigned w = 1; w < config_.assoc; ++w) {
-        if (lines_[base + w].lastUse < oldest) {
-            oldest = lines_[base + w].lastUse;
-            victim = w;
-        }
-    }
-    return victim;
-}
-
 CacheAccessResult
-SetAssocCache::access(Addr addr, bool is_write)
+SetAssocCache::accessMiss(Addr addr, bool is_write)
 {
-    ++tick_;
     const std::uint64_t set = setIndex(addr);
     const Addr tag = tagOf(addr);
     const std::size_t base = set * config_.assoc;
 
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag) {
-            line.lastUse = tick_;
-            line.dirty |= is_write;
-            hits_.inc();
-            return {true, false, false, 0};
+    misses_.inc();
+    const unsigned invalid_way =
+        scanWays(&keys_[base], config_.assoc, kNoTag);
+
+    unsigned victim;
+    if (invalid_way != config_.assoc) {
+        victim = invalid_way;
+    } else if (config_.repl == ReplPolicy::Random) {
+        victim = static_cast<unsigned>(
+            splitMix64(rand_state_) % config_.assoc);
+    } else {
+        victim = 0;
+        std::uint32_t oldest = meta_[base].lastUse;
+        for (unsigned w = 1; w < config_.assoc; ++w) {
+            if (meta_[base + w].lastUse < oldest) {
+                oldest = meta_[base + w].lastUse;
+                victim = w;
+            }
         }
     }
 
-    misses_.inc();
     CacheAccessResult res;
-    unsigned victim = pickVictim(set);
-    Line &line = lines_[base + victim];
-    if (line.valid) {
+    LineMeta &meta = meta_[base + victim];
+    if (keys_[base + victim] != kNoTag) {
         evictions_.inc();
         res.victimValid = true;
-        res.victimDirty = line.dirty;
-        res.victimAddr = rebuildAddr(line.tag, set);
-        if (line.dirty)
+        res.victimDirty = meta.dirty;
+        res.victimAddr = rebuildAddr(keys_[base + victim], set);
+        if (meta.dirty)
             writebacks_.inc();
     }
-    line.valid = true;
-    line.dirty = is_write;
-    line.tag = tag;
-    line.lastUse = tick_;
+    keys_[base + victim] = tag;
+    meta.dirty = is_write;
+    meta.lastUse = static_cast<std::uint32_t>(tick_);
+    res.lineIndex = static_cast<std::uint32_t>(base + victim);
     return res;
 }
 
 bool
 SetAssocCache::probe(Addr addr) const
 {
-    const std::uint64_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    const std::size_t base = set * config_.assoc;
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        const Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag)
-            return true;
-    }
-    return false;
+    const std::size_t base = setIndex(addr) * config_.assoc;
+    return scanWays(&keys_[base], config_.assoc, tagOf(addr)) !=
+           config_.assoc;
 }
 
 bool
 SetAssocCache::invalidate(Addr addr, bool &was_dirty)
 {
-    const std::uint64_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    const std::size_t base = set * config_.assoc;
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag) {
-            was_dirty = line.dirty;
-            line.valid = false;
-            line.dirty = false;
-            return true;
-        }
+    const std::size_t base = setIndex(addr) * config_.assoc;
+    const unsigned match_way =
+        scanWays(&keys_[base], config_.assoc, tagOf(addr));
+    if (match_way != config_.assoc) {
+        LineMeta &meta = meta_[base + match_way];
+        was_dirty = meta.dirty;
+        keys_[base + match_way] = kNoTag;
+        meta.dirty = false;
+        return true;
     }
     was_dirty = false;
     return false;

@@ -40,6 +40,13 @@ struct CacheAccessResult
 
     /** Block-aligned address of the evicted line. */
     Addr victimAddr = 0;
+
+    /**
+     * Global index (set * assoc + way) of the line that hit, or of
+     * the way filled on a miss. Lets callers attach side state to
+     * lines (e.g. the hierarchy's L1-presence masks).
+     */
+    std::uint32_t lineIndex = 0;
 };
 
 /**
@@ -65,11 +72,18 @@ class SetAssocCache
     /**
      * Look up @p addr; on miss, allocate (evicting per policy).
      *
+     * Defined inline below: the hit path is the hottest few
+     * instructions of the whole simulator and must inline into
+     * the hierarchy's access loop.
+     *
      * @param addr byte address of the access.
      * @param is_write marks the (possibly filled) line dirty.
      * @return hit/miss and victim information.
      */
     CacheAccessResult access(Addr addr, bool is_write);
+
+    /** Miss path of access(): victim selection and fill. */
+    CacheAccessResult accessMiss(Addr addr, bool is_write);
 
     /** Look up without allocating or updating recency. */
     bool probe(Addr addr) const;
@@ -101,23 +115,55 @@ class SetAssocCache
     void resetStats() { stats_.resetAll(); }
 
   private:
-    struct Line
+    /**
+     * Per-line replacement/dirty metadata (tags live in keys_),
+     * packed to 8 bytes so a 16-way set's metadata spans two cache
+     * lines. The 32-bit LRU stamp wraps after 4G accesses to one
+     * cache; past that point replacement quality degrades (the
+     * wrapped entries look recent) but behavior stays
+     * deterministic.
+     */
+    struct LineMeta
     {
-        Addr tag = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
+        std::uint32_t lastUse = 0;
         bool dirty = false;
     };
 
-    std::uint64_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
-    Addr rebuildAddr(Addr tag, std::uint64_t set) const;
-    unsigned pickVictim(std::uint64_t set);
+    /** keys_ sentinel for an invalid line. */
+    static constexpr Addr kNoTag = ~static_cast<Addr>(0);
+
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> block_shift_) & set_mask_;
+    }
+
+    Addr
+    tagOf(Addr addr) const
+    {
+        return addr >> block_shift_ >> set_bits_;
+    }
+
+    Addr
+    rebuildAddr(Addr tag, std::uint64_t set) const
+    {
+        return ((tag << set_bits_) | set) << block_shift_;
+    }
 
     Config config_;
     std::uint64_t num_sets_;
     unsigned block_shift_;
-    std::vector<Line> lines_;
+    /** floorLog2(num_sets_), precomputed off the access path. */
+    unsigned set_bits_;
+    /** num_sets_ - 1. */
+    std::uint64_t set_mask_;
+    /**
+     * Packed per-line tags (kNoTag when invalid): the associative
+     * scan reads 8 bytes per way — a 4-way L1 set is half a cache
+     * line, a 16-way L2 set two lines — instead of a whole struct.
+     */
+    std::vector<Addr> keys_;
+    std::vector<LineMeta> meta_;
     std::uint64_t tick_ = 0;
     std::uint64_t rand_state_;
 
@@ -127,6 +173,30 @@ class SetAssocCache
     Counter evictions_;
     Counter writebacks_;
 };
+
+inline CacheAccessResult
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    ++tick_;
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const std::size_t base = set * config_.assoc;
+
+    const unsigned match_way =
+        scanWays(&keys_[base], config_.assoc, tag);
+    if (match_way != config_.assoc) {
+        LineMeta &meta = meta_[base + match_way];
+        meta.lastUse = static_cast<std::uint32_t>(tick_);
+        meta.dirty |= is_write;
+        hits_.inc();
+        CacheAccessResult res;
+        res.hit = true;
+        res.lineIndex =
+            static_cast<std::uint32_t>(base + match_way);
+        return res;
+    }
+    return accessMiss(addr, is_write);
+}
 
 } // namespace fpc
 

@@ -13,6 +13,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -197,6 +201,148 @@ class ZipfSampler
     double hIntegralX1_;
     double hIntegralN_;
     double t_;
+};
+
+/**
+ * Alias-method Zipf sampler (Walker/Vose) over {0, .., n-1} with
+ * exponent s. Table construction is O(n) with one pow() per item;
+ * every draw afterwards is O(1) from a single 64-bit random value,
+ * with no transcendental math and no rejection loop — unlike
+ * ZipfSampler's rejection inversion, whose pow/log calls dominate
+ * the trace-generation hot path. Costs 12 bytes per item, which is
+ * acceptable for the multi-million-page workload datasets and paid
+ * once per trace source.
+ */
+class AliasZipfSampler
+{
+  public:
+    AliasZipfSampler(std::uint64_t n, double s) : n_(n), s_(s)
+    {
+        FPC_ASSERT(n >= 1);
+        FPC_ASSERT(n < (1ULL << 32));
+        FPC_ASSERT(s >= 0.0);
+        if (s_ > 0.0 && n_ > 1)
+            tables_ = sharedTables(n_, s_);
+    }
+
+    /** Draw one rank in [0, n). Rank 0 is the most popular item. */
+    std::uint64_t
+    operator()(Rng &rng) const
+    {
+        if (n_ == 1)
+            return 0;
+        // Split one 64-bit draw into a bucket index (high part of
+        // the 128-bit product, Lemire reduction) and the alias
+        // coin (low part, uniform over [0, 2^64) at granularity n:
+        // an error of at most n/2^64 per threshold comparison).
+        const __uint128_t m =
+            static_cast<__uint128_t>(rng.next()) * n_;
+        const std::uint64_t idx = static_cast<std::uint64_t>(m >> 64);
+        if (s_ == 0.0)
+            return idx;
+        const std::uint64_t coin = static_cast<std::uint64_t>(m);
+        return coin < tables_->thresh[idx] ? idx
+                                           : tables_->alias[idx];
+    }
+
+    std::uint64_t n() const { return n_; }
+    double exponent() const { return s_; }
+
+  private:
+    /** Immutable alias tables for one (n, s) distribution. */
+    struct Tables
+    {
+        std::vector<std::uint64_t> thresh;
+        std::vector<std::uint32_t> alias;
+    };
+
+    /**
+     * Table construction is O(n) with a pow() per item — ~10^8
+     * ns-scale operations for the multi-million-page datasets —
+     * and the same (n, s) pair recurs across every design × mode
+     * run of a sweep, so built tables are shared process-wide.
+     */
+    static std::shared_ptr<const Tables>
+    sharedTables(std::uint64_t n, double s)
+    {
+        static std::mutex mu;
+        static std::map<std::pair<std::uint64_t, double>,
+                        std::weak_ptr<const Tables>>
+            cache;
+        std::lock_guard<std::mutex> lock(mu);
+        auto &slot = cache[{n, s}];
+        if (auto existing = slot.lock())
+            return existing;
+        auto built = buildTables(n, s);
+        slot = built;
+        return built;
+    }
+
+    static std::shared_ptr<const Tables>
+    buildTables(std::uint64_t n, double s)
+    {
+        auto tables = std::make_shared<Tables>();
+        // Unnormalized Zipf weights, rescaled so the mean is 1.
+        std::vector<double> scaled(n);
+        double total = 0.0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            scaled[i] = std::pow(static_cast<double>(i + 1), -s);
+            total += scaled[i];
+        }
+        const double scale = static_cast<double>(n) / total;
+        for (double &p : scaled)
+            p *= scale;
+
+        tables->thresh.resize(n);
+        tables->alias.resize(n);
+        std::vector<std::uint32_t> small, large;
+        small.reserve(n);
+        large.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            (scaled[i] < 1.0 ? small : large)
+                .push_back(static_cast<std::uint32_t>(i));
+        }
+
+        // Vose pairing: each under-full bucket borrows the excess
+        // of one over-full bucket.
+        while (!small.empty() && !large.empty()) {
+            const std::uint32_t s_idx = small.back();
+            small.pop_back();
+            const std::uint32_t l_idx = large.back();
+            large.pop_back();
+            tables->thresh[s_idx] = toThreshold(scaled[s_idx]);
+            tables->alias[s_idx] = l_idx;
+            scaled[l_idx] =
+                (scaled[l_idx] + scaled[s_idx]) - 1.0;
+            (scaled[l_idx] < 1.0 ? small : large)
+                .push_back(l_idx);
+        }
+        // Leftovers (numerical residue): probability one.
+        for (std::uint32_t i : large) {
+            tables->thresh[i] = ~std::uint64_t{0};
+            tables->alias[i] = i;
+        }
+        for (std::uint32_t i : small) {
+            tables->thresh[i] = ~std::uint64_t{0};
+            tables->alias[i] = i;
+        }
+        return tables;
+    }
+
+    /** Map a bucket probability in [0, 1] to a u64 coin bound. */
+    static std::uint64_t
+    toThreshold(double p)
+    {
+        if (p >= 1.0)
+            return ~std::uint64_t{0};
+        if (p <= 0.0)
+            return 0;
+        return static_cast<std::uint64_t>(p * 0x1p64);
+    }
+
+    std::uint64_t n_;
+    double s_;
+    std::shared_ptr<const Tables> tables_;
 };
 
 } // namespace fpc

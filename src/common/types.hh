@@ -74,6 +74,22 @@ floorLog2(std::uint64_t v)
     return l;
 }
 
+/**
+ * Branchless associative way scan over a packed key array: index
+ * of the way whose key equals @p key, or @p assoc when absent.
+ * Compiles to conditional moves — with random keys a per-way
+ * early-exit branch is mispredict-bound, and this sits on the
+ * hottest loops of the simulator (L1/L2 and DRAM-cache tag scans).
+ */
+inline unsigned
+scanWays(const Addr *keys, unsigned assoc, Addr key)
+{
+    unsigned match = assoc;
+    for (unsigned w = assoc; w-- > 0;)
+        match = keys[w] == key ? w : match;
+    return match;
+}
+
 } // namespace fpc
 
 #endif // FPC_COMMON_TYPES_HH

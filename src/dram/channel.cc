@@ -11,6 +11,10 @@ DramChannel::DramChannel(const DramTimingParams &timing,
                          std::string name)
     : timing_(timing), energy_(energy), stats_(std::move(name))
 {
+    FPC_ASSERT(isPowerOf2(timing_.rowBytes));
+    row_shift_ = floorLog2(timing_.rowBytes);
+    banks_pow2_ = isPowerOf2(timing_.numBanks);
+    bank_mask_ = banks_pow2_ ? timing_.numBanks - 1 : 0;
     banks_.resize(timing_.numBanks);
 
     stats_.regCounter(&acts_, "activates", "row activations");
@@ -171,17 +175,18 @@ DramChannel::access(Cycle when, Addr local_addr, bool is_write,
     bool first = true;
     Cycle t = when;
 
+    const unsigned row_blocks = timing_.rowBytes >> kBlockShift;
     while (remaining > 0) {
-        const std::uint64_t row_global = addr / timing_.rowBytes;
-        const unsigned bank_idx = row_global % timing_.numBanks;
+        const std::uint64_t row_global = addr >> row_shift_;
+        const unsigned bank_idx = static_cast<unsigned>(
+            banks_pow2_ ? row_global & bank_mask_
+                        : row_global % timing_.numBanks);
         const std::uint64_t row = row_global / timing_.numBanks;
         Bank &bank = banks_[bank_idx];
 
         // Blocks left in this row.
-        const unsigned block_in_row =
-            static_cast<unsigned>((addr % timing_.rowBytes) /
-                                  kBlockBytes);
-        const unsigned row_blocks = timing_.rowBytes / kBlockBytes;
+        const unsigned block_in_row = static_cast<unsigned>(
+            (addr & (timing_.rowBytes - 1)) >> kBlockShift);
         const unsigned chunk =
             std::min(remaining, row_blocks - block_in_row);
 
@@ -233,8 +238,10 @@ DramChannel::compoundAccess(Cycle when, Addr row_addr, bool is_write)
     // critical path (§5.2).
     DramAccessResult res;
     const std::uint64_t row_global =
-        blockAlign(row_addr) / timing_.rowBytes;
-    const unsigned bank_idx = row_global % timing_.numBanks;
+        blockAlign(row_addr) >> row_shift_;
+    const unsigned bank_idx = static_cast<unsigned>(
+        banks_pow2_ ? row_global & bank_mask_
+                    : row_global % timing_.numBanks);
     const std::uint64_t row = row_global / timing_.numBanks;
     Bank &bank = banks_[bank_idx];
 
@@ -256,6 +263,19 @@ DramChannel::compoundAccess(Cycle when, Addr row_addr, bool is_write)
     res.done = end;
     maybeAutoPrecharge(bank, end, is_write);
     return res;
+}
+
+void
+DramChannel::resetTiming()
+{
+    for (Bank &bank : banks_)
+        bank = Bank{};
+    for (Cycle &t : recent_acts_)
+        t = 0;
+    recent_act_head_ = 0;
+    last_act_at_ = 0;
+    bus_free_at_ = 0;
+    last_write_end_ = 0;
 }
 
 } // namespace fpc

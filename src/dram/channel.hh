@@ -109,6 +109,15 @@ class DramChannel
     const StatGroup &stats() const { return stats_; }
     void resetStats() { stats_.resetAll(); }
 
+    /**
+     * Clear all bank/bus reservation state (open rows, activate
+     * windows, bus occupancy) while keeping the statistics. Used at
+     * the two-phase engine's warmup/measurement boundary so the
+     * measurement phase starts from a drained channel regardless of
+     * the warmup mode, and so cycle time may restart from zero.
+     */
+    void resetTiming();
+
     /** Bank backlog relative to @p now (diagnostics). */
     std::int64_t
     bankBacklog(unsigned bank, Cycle now) const
@@ -160,6 +169,13 @@ class DramChannel
 
     DramTimingParams timing_;
     DramEnergyParams energy_;
+
+    /** floorLog2(rowBytes); rows are a power of two. */
+    unsigned row_shift_;
+    /** numBanks - 1 when numBanks is a power of two, else 0. */
+    std::uint64_t bank_mask_;
+    /** True when numBanks is a power of two (mask path valid). */
+    bool banks_pow2_;
 
     std::vector<Bank> banks_;
     /** Ring of the last four activate times (tFAW window). */

@@ -38,6 +38,12 @@ DramSystem::DramSystem(const Config &config) : config_(config)
     FPC_ASSERT(config_.numChannels > 0);
     FPC_ASSERT(isPowerOf2(config_.interleaveBytes));
     FPC_ASSERT(config_.interleaveBytes >= kBlockBytes);
+    interleave_shift_ = floorLog2(config_.interleaveBytes);
+    blocks_per_chunk_ = config_.interleaveBytes / kBlockBytes;
+    channels_pow2_ = isPowerOf2(config_.numChannels);
+    channel_mask_ = channels_pow2_ ? config_.numChannels - 1 : 0;
+    channel_shift_ =
+        channels_pow2_ ? floorLog2(config_.numChannels) : 0;
     for (unsigned c = 0; c < config_.numChannels; ++c) {
         channels_.push_back(std::make_unique<DramChannel>(
             config_.timing, config_.energy,
@@ -48,17 +54,22 @@ DramSystem::DramSystem(const Config &config) : config_(config)
 unsigned
 DramSystem::channelOf(Addr addr) const
 {
-    return static_cast<unsigned>(
-        (addr / config_.interleaveBytes) % channels_.size());
+    const Addr chunk = addr >> interleave_shift_;
+    if (channels_pow2_)
+        return static_cast<unsigned>(chunk & channel_mask_);
+    return static_cast<unsigned>(chunk % channels_.size());
 }
 
 Addr
 DramSystem::localAddr(Addr addr) const
 {
-    const Addr chunk = addr / config_.interleaveBytes;
-    const Addr offset = addr % config_.interleaveBytes;
-    return (chunk / channels_.size()) * config_.interleaveBytes +
-           offset;
+    const Addr chunk = addr >> interleave_shift_;
+    const Addr offset =
+        addr & (static_cast<Addr>(config_.interleaveBytes) - 1);
+    const Addr local_chunk = channels_pow2_
+                                 ? chunk >> channel_shift_
+                                 : chunk / channels_.size();
+    return (local_chunk << interleave_shift_) + offset;
 }
 
 DramAccessResult
@@ -75,12 +86,12 @@ DramSystem::access(Cycle when, Addr addr, bool is_write,
 
     unsigned remaining = num_blocks;
     while (remaining > 0) {
-        const unsigned blocks_per_chunk =
-            config_.interleaveBytes / kBlockBytes;
         const unsigned block_in_chunk = static_cast<unsigned>(
-            (addr % config_.interleaveBytes) / kBlockBytes);
+            (addr & (static_cast<Addr>(config_.interleaveBytes) -
+                     1)) >>
+            kBlockShift);
         const unsigned chunk =
-            std::min(remaining, blocks_per_chunk - block_in_chunk);
+            std::min(remaining, blocks_per_chunk_ - block_in_chunk);
 
         DramChannel &ch = *channels_[channelOf(addr)];
         DramAccessResult r =
@@ -102,6 +113,13 @@ DramSystem::compoundAccess(Cycle when, Addr addr, bool is_write)
 {
     DramChannel &ch = *channels_[channelOf(addr)];
     return ch.compoundAccess(when, localAddr(addr), is_write);
+}
+
+void
+DramSystem::resetTiming()
+{
+    for (auto &ch : channels_)
+        ch->resetTiming();
 }
 
 std::uint64_t

@@ -59,6 +59,13 @@ class DramSystem
     DramAccessResult compoundAccess(Cycle when, Addr addr,
                                     bool is_write);
 
+    /**
+     * Clear every channel's timing/reservation state, keeping the
+     * statistics (see DramChannel::resetTiming). Called at the
+     * two-phase engine's warmup/measurement boundary.
+     */
+    void resetTiming();
+
     unsigned numChannels() const { return channels_.size(); }
     DramChannel &channel(unsigned i) { return *channels_[i]; }
     const DramChannel &channel(unsigned i) const
@@ -91,6 +98,16 @@ class DramSystem
     Addr localAddr(Addr addr) const;
 
     Config config_;
+    /** floorLog2(interleaveBytes); power of two asserted. */
+    unsigned interleave_shift_;
+    /** Blocks per interleave chunk. */
+    unsigned blocks_per_chunk_;
+    /** numChannels - 1 when a power of two, else 0. */
+    unsigned channel_mask_;
+    /** floorLog2(numChannels) when a power of two, else 0. */
+    unsigned channel_shift_;
+    /** True when numChannels is a power of two (mask path). */
+    bool channels_pow2_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
 };
 

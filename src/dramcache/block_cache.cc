@@ -15,6 +15,8 @@ BlockCache::BlockCache(const Config &config, DramSystem &stacked,
     FPC_ASSERT(config_.dataBlocksPerRow <=
                config_.rowBytes / kBlockBytes);
     num_sets_ = config_.capacityBytes / config_.rowBytes;
+    set_mask_ = num_sets_ - 1;
+    row_shift_ = floorLog2(config_.rowBytes);
     ways_.resize(num_sets_ * config_.dataBlocksPerRow);
 
     stats_.regCounter(&demand_accesses_, "demand_accesses",
@@ -57,15 +59,18 @@ BlockCache::evictWay(Cycle when, std::uint64_t set, Way &way)
     const Addr block_addr = way.blockId * kBlockBytes;
     if (way.dirty) {
         dirty_evictions_.inc();
-        // Read the victim from the cache row, write it off chip.
-        const std::size_t way_idx = static_cast<std::size_t>(
-            &way - &ways_[set * config_.dataBlocksPerRow]);
-        DramAccessResult rd = stacked_.access(
-            when,
-            rowAddr(set) +
-                static_cast<Addr>(way_idx) * kBlockBytes,
-            false, 1);
-        offchip_.access(rd.done, block_addr, true, 1);
+        if (timed()) {
+            // Read the victim from the cache row, write it off
+            // chip.
+            const std::size_t way_idx = static_cast<std::size_t>(
+                &way - &ways_[set * config_.dataBlocksPerRow]);
+            DramAccessResult rd = stacked_.access(
+                when,
+                rowAddr(set) +
+                    static_cast<Addr>(way_idx) * kBlockBytes,
+                false, 1);
+            offchip_.access(rd.done, block_addr, true, 1);
+        }
     }
     way.valid = false;
     way.dirty = false;
@@ -98,12 +103,14 @@ BlockCache::flushSegment(Cycle when, const MissMap::Victim &victim)
             mm_flushed_.inc();
             if (way.dirty) {
                 dirty_evictions_.inc();
-                DramAccessResult rd = stacked_.access(
-                    when,
-                    rowAddr(set) +
-                        static_cast<Addr>(w) * kBlockBytes,
-                    false, 1);
-                offchip_.access(rd.done, block_addr, true, 1);
+                if (timed()) {
+                    DramAccessResult rd = stacked_.access(
+                        when,
+                        rowAddr(set) +
+                            static_cast<Addr>(w) * kBlockBytes,
+                        false, 1);
+                    offchip_.access(rd.done, block_addr, true, 1);
+                }
             }
             way.valid = false;
             way.dirty = false;
@@ -145,15 +152,19 @@ BlockCache::fillBlock(Cycle when, Addr block_addr, bool dirty)
 
     // Data write into the row plus the off-critical-path tag
     // update write (one extra burst of bandwidth and energy).
-    stacked_.access(when,
-                    rowAddr(set) +
-                        static_cast<Addr>(victim_way) * kBlockBytes,
-                    true, 1);
-    stacked_.access(when,
-                    rowAddr(set) +
-                        static_cast<Addr>(config_.dataBlocksPerRow) *
-                            kBlockBytes,
-                    true, 1);
+    if (timed()) {
+        stacked_.access(
+            when,
+            rowAddr(set) +
+                static_cast<Addr>(victim_way) * kBlockBytes,
+            true, 1);
+        stacked_.access(
+            when,
+            rowAddr(set) +
+                static_cast<Addr>(config_.dataBlocksPerRow) *
+                    kBlockBytes,
+            true, 1);
+    }
 
     MissMap::Victim mm_victim;
     missmap_.setBit(block_addr, mm_victim);
@@ -172,6 +183,8 @@ BlockCache::access(Cycle now, const MemRequest &req)
         Way *way = findWay(block_addr, true);
         FPC_ASSERT(way != nullptr);
         hits_.inc();
+        if (!timed())
+            return {t, true};
         DramAccessResult res = stacked_.compoundAccess(
             t, rowAddr(setOf(block_addr)), false);
         return {res.firstBlockReady, true};
@@ -179,6 +192,10 @@ BlockCache::access(Cycle now, const MemRequest &req)
 
     // Miss: served from off-chip memory, then filled.
     misses_.inc();
+    if (!timed()) {
+        fillBlock(t, block_addr, false);
+        return {t, false};
+    }
     DramAccessResult off = offchip_.access(t, block_addr, false, 1);
     fillBlock(off.firstBlockReady, block_addr, false);
     return {off.firstBlockReady, false};
@@ -195,15 +212,16 @@ BlockCache::writeback(Cycle now, Addr block_addr)
         FPC_ASSERT(way != nullptr);
         wb_hits_.inc();
         way->dirty = true;
-        stacked_.compoundAccess(t, rowAddr(setOf(block_addr)),
-                                true);
+        if (timed())
+            stacked_.compoundAccess(t, rowAddr(setOf(block_addr)),
+                                    true);
         return;
     }
     wb_misses_.inc();
     if (config_.allocateOnWriteback) {
         // Full-line write: install without an off-chip fetch.
         fillBlock(t, block_addr, true);
-    } else {
+    } else if (timed()) {
         offchip_.access(t, block_addr, true, 1);
     }
 }

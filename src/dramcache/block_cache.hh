@@ -57,6 +57,14 @@ class BlockCache : public MemorySystem
     MemSystemResult access(Cycle now, const MemRequest &req) override;
     void writeback(Cycle now, Addr block_addr) override;
 
+    void
+    prefetchFor(Addr paddr) const override
+    {
+        missmap_.prefetchSet(blockAlign(paddr));
+        __builtin_prefetch(
+            &ways_[setOf(paddr) * config_.dataBlocksPerRow]);
+    }
+
     std::string designName() const override { return config_.name; }
 
     std::uint64_t
@@ -107,14 +115,14 @@ class BlockCache : public MemorySystem
     std::uint64_t
     setOf(Addr block_addr) const
     {
-        return blockNumber(block_addr) % num_sets_;
+        return blockNumber(block_addr) & set_mask_;
     }
 
     /** Stacked-DRAM address of set @p set's row. */
     Addr
     rowAddr(std::uint64_t set) const
     {
-        return set * config_.rowBytes;
+        return set << row_shift_;
     }
 
     Way *findWay(Addr block_addr, bool touch);
@@ -133,6 +141,10 @@ class BlockCache : public MemorySystem
     DramSystem &offchip_;
     MissMap missmap_;
     std::uint64_t num_sets_;
+    /** num_sets_ - 1; sets are a power of two. */
+    std::uint64_t set_mask_;
+    /** floorLog2(rowBytes). */
+    unsigned row_shift_;
     std::uint64_t tick_ = 0;
     std::vector<Way> ways_;
 

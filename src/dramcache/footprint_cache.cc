@@ -9,10 +9,12 @@ namespace fpc {
 FootprintCache::FootprintCache(const Config &config,
                                DramSystem &stacked,
                                DramSystem &offchip)
-    : config_(config), stacked_(stacked), offchip_(offchip),
-      tags_(config.tags), fht_(config.fht), st_(config.st),
-      stats_(config.name)
+    : config_(config), page_shift_(floorLog2(config.tags.pageBytes)),
+      offset_mask_(config.tags.pageBytes / kBlockBytes - 1),
+      stacked_(stacked), offchip_(offchip), tags_(config.tags),
+      fht_(config.fht), st_(config.st), stats_(config.name)
 {
+    FPC_ASSERT(isPowerOf2(config_.tags.pageBytes));
     stats_.regCounter(&demand_accesses_, "demand_accesses",
                       "LLC misses served");
     stats_.regCounter(&block_hits_, "block_hits",
@@ -93,15 +95,17 @@ FootprintCache::evictPage(const PageTagArray::Victim &victim,
     const BlockBitmap dirty = victim.blocks.dirtyDataMap();
     if (!dirty.empty()) {
         dirty_evictions_.inc();
-        const unsigned n = dirty.count();
-        const Addr frame_addr = tags_.frameAddr(victim.frame) +
-            static_cast<Addr>(dirty.lowestSet()) * kBlockBytes;
-        const Addr mem_addr =
-            victim.pageId * config_.tags.pageBytes +
-            static_cast<Addr>(dirty.lowestSet()) * kBlockBytes;
-        DramAccessResult rd =
-            stacked_.access(when, frame_addr, false, n);
-        offchip_.access(rd.done, mem_addr, true, n);
+        if (timed()) {
+            const unsigned n = dirty.count();
+            const Addr frame_addr = tags_.frameAddr(victim.frame) +
+                static_cast<Addr>(dirty.lowestSet()) * kBlockBytes;
+            const Addr mem_addr =
+                (victim.pageId << page_shift_) +
+                static_cast<Addr>(dirty.lowestSet()) * kBlockBytes;
+            DramAccessResult rd =
+                stacked_.access(when, frame_addr, false, n);
+            offchip_.access(rd.done, mem_addr, true, n);
+        }
     }
 }
 
@@ -124,12 +128,15 @@ FootprintCache::allocateAndFill(Cycle when, const MemRequest &req,
 
     // Critical block first: the demanded block is fetched and
     // forwarded to the L2 as soon as it arrives.
-    DramAccessResult demand =
-        offchip_.access(when, blockAlign(req.paddr), false, 1);
-    stacked_.access(demand.firstBlockReady,
-                    frame_base +
-                        static_cast<Addr>(offset) * kBlockBytes,
-                    true, 1);
+    DramAccessResult demand{when, when, false};
+    if (timed()) {
+        demand =
+            offchip_.access(when, blockAlign(req.paddr), false, 1);
+        stacked_.access(demand.firstBlockReady,
+                        frame_base +
+                            static_cast<Addr>(offset) * kBlockBytes,
+                        true, 1);
+    }
     entry->blocks.fillDemanded(offset);
     blocks_fetched_.inc();
 
@@ -139,14 +146,16 @@ FootprintCache::allocateAndFill(Cycle when, const MemRequest &req,
     if (!rest.empty()) {
         const unsigned n = rest.count();
         const unsigned lo = rest.lowestSet();
-        DramAccessResult fill = offchip_.access(
-            demand.done,
-            page_base + static_cast<Addr>(lo) * kBlockBytes, false,
-            n);
-        stacked_.access(fill.firstBlockReady,
-                        frame_base +
-                            static_cast<Addr>(lo) * kBlockBytes,
-                        true, n);
+        if (timed()) {
+            DramAccessResult fill = offchip_.access(
+                demand.done,
+                page_base + static_cast<Addr>(lo) * kBlockBytes,
+                false, n);
+            stacked_.access(fill.firstBlockReady,
+                            frame_base +
+                                static_cast<Addr>(lo) * kBlockBytes,
+                            true, n);
+        }
         for (unsigned b = 0; b < tags_.blocksPerPage(); ++b) {
             if (rest.test(b))
                 entry->blocks.fillPredicted(b);
@@ -169,6 +178,8 @@ FootprintCache::access(Cycle now, const MemRequest &req)
             // Block hit: serve from the stacked DRAM.
             block_hits_.inc();
             entry->blocks.markDemanded(offset);
+            if (!timed())
+                return {t, true};
             const Addr frame_addr =
                 tags_.frameAddr(tags_.frameIndex(entry)) +
                 static_cast<Addr>(offset) * kBlockBytes;
@@ -179,15 +190,20 @@ FootprintCache::access(Cycle now, const MemRequest &req)
         // Underprediction: page resident, block absent. Fetch the
         // block on demand and install it (§3.1).
         underpred_misses_.inc();
-        DramAccessResult off =
-            offchip_.access(t, blockAlign(req.paddr), false, 1);
-        stacked_.access(off.firstBlockReady,
-                        tags_.frameAddr(tags_.frameIndex(entry)) +
-                            static_cast<Addr>(offset) * kBlockBytes,
-                        true, 1);
+        Cycle done = t;
+        if (timed()) {
+            DramAccessResult off =
+                offchip_.access(t, blockAlign(req.paddr), false, 1);
+            stacked_.access(
+                off.firstBlockReady,
+                tags_.frameAddr(tags_.frameIndex(entry)) +
+                    static_cast<Addr>(offset) * kBlockBytes,
+                true, 1);
+            done = off.firstBlockReady;
+        }
         entry->blocks.fillDemanded(offset);
         blocks_fetched_.inc();
-        return {off.firstBlockReady, false};
+        return {done, false};
     }
 
     // Triggering miss (§4.2).
@@ -219,9 +235,11 @@ FootprintCache::access(Cycle now, const MemRequest &req)
             // block to the requestor, bypassing the cache.
             singleton_bypass_.inc();
             st_.insert(page_id, req.pc, offset);
+            blocks_fetched_.inc();
+            if (!timed())
+                return {t, false};
             DramAccessResult off = offchip_.access(
                 t, blockAlign(req.paddr), false, 1);
-            blocks_fetched_.inc();
             return {off.firstBlockReady, false};
         }
     }
@@ -238,10 +256,12 @@ FootprintCache::writeback(Cycle now, Addr block_addr)
 
     if (PageTagEntry *entry = tags_.lookup(page_id)) {
         wb_hits_.inc();
-        const Addr frame_addr =
-            tags_.frameAddr(tags_.frameIndex(entry)) +
-            static_cast<Addr>(offset) * kBlockBytes;
-        stacked_.access(now, frame_addr, true, 1);
+        if (timed()) {
+            const Addr frame_addr =
+                tags_.frameAddr(tags_.frameIndex(entry)) +
+                static_cast<Addr>(offset) * kBlockBytes;
+            stacked_.access(now, frame_addr, true, 1);
+        }
         if (!entry->blocks.present(offset)) {
             // Full-line write installs the block without a fetch.
             entry->blocks.fillDemanded(offset);
@@ -253,7 +273,8 @@ FootprintCache::writeback(Cycle now, Addr block_addr)
     // cache does not allocate on writebacks (§7: evictions from
     // the higher-level cache are not tracked).
     wb_misses_.inc();
-    offchip_.access(now, blockAlign(block_addr), true, 1);
+    if (timed())
+        offchip_.access(now, blockAlign(block_addr), true, 1);
 }
 
 void

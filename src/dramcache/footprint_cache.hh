@@ -69,6 +69,18 @@ class FootprintCache : public MemorySystem
     MemSystemResult access(Cycle now, const MemRequest &req) override;
     void writeback(Cycle now, Addr block_addr) override;
 
+    void
+    prefetchFor(Addr paddr) const override
+    {
+        tags_.prefetchSet(paddr >> page_shift_);
+    }
+
+    void
+    prefetchFor2(Addr paddr) const override
+    {
+        tags_.prefetchEntry(paddr >> page_shift_);
+    }
+
     std::string designName() const override { return config_.name; }
 
     std::uint64_t
@@ -146,20 +158,21 @@ class FootprintCache : public MemorySystem
     unsigned
     offsetOf(Addr paddr) const
     {
-        return static_cast<unsigned>(
-            (paddr % config_.tags.pageBytes) / kBlockBytes);
+        return static_cast<unsigned>(paddr >> kBlockShift) &
+               offset_mask_;
     }
 
     Addr
     pageIdOf(Addr paddr) const
     {
-        return paddr / config_.tags.pageBytes;
+        return paddr >> page_shift_;
     }
 
     Addr
     pageStartOf(Addr paddr) const
     {
-        return pageIdOf(paddr) * config_.tags.pageBytes;
+        return paddr & ~static_cast<Addr>(config_.tags.pageBytes -
+                                          1);
     }
 
     /** Predicted footprint for a triggering miss. */
@@ -180,6 +193,10 @@ class FootprintCache : public MemorySystem
                           const FhtRef &ref);
 
     Config config_;
+    /** floorLog2(pageBytes), precomputed off the access path. */
+    unsigned page_shift_;
+    /** blocksPerPage - 1, precomputed off the access path. */
+    unsigned offset_mask_;
     DramSystem &stacked_;
     DramSystem &offchip_;
     PageTagArray tags_;

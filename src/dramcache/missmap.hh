@@ -39,6 +39,18 @@ class MissMap
     /** Is the block present in the DRAM cache? */
     bool present(Addr block_addr) const;
 
+    /** Prefetch the set tracking @p block_addr (warmup loop). */
+    void
+    prefetchSet(Addr block_addr) const
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(setOf(
+                segmentOf(block_addr))) *
+            config_.assoc;
+        __builtin_prefetch(&entries_[base]);
+        __builtin_prefetch(&entries_[base + 2]);
+    }
+
     /** Eviction of a tracked segment (forced block evictions). */
     struct Victim
     {

@@ -17,33 +17,29 @@ PageTagArray::PageTagArray(const Config &config) : config_(config)
     sets_ = frames_ / config_.assoc;
     FPC_ASSERT(isPowerOf2(sets_));
     blocks_per_page_ = config_.pageBytes / kBlockBytes;
+    page_shift_ = floorLog2(config_.pageBytes);
     entries_.resize(frames_);
-}
-
-std::uint64_t
-PageTagArray::setOf(Addr page_id) const
-{
-    return page_id & (sets_ - 1);
+    keys_.assign(frames_, kNoPage);
 }
 
 PageTagEntry *
 PageTagArray::lookup(Addr page_id, bool touch)
 {
     const std::size_t base = setOf(page_id) * config_.assoc;
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        PageTagEntry &e = entries_[base + w];
-        if (e.valid && e.pageId == page_id) {
-            if (touch)
-                e.lastUse = ++tick_;
-            return &e;
-        }
-    }
-    return nullptr;
+    const unsigned match_way =
+        scanWays(&keys_[base], config_.assoc, page_id);
+    if (match_way == config_.assoc)
+        return nullptr;
+    PageTagEntry &e = entries_[base + match_way];
+    if (touch)
+        e.lastUse = ++tick_;
+    return &e;
 }
 
 PageTagEntry *
 PageTagArray::allocate(Addr page_id, Victim &victim)
 {
+    FPC_ASSERT(page_id != kNoPage);
     FPC_ASSERT(lookup(page_id, false) == nullptr);
     const std::size_t base = setOf(page_id) * config_.assoc;
 
@@ -80,6 +76,7 @@ PageTagArray::allocate(Addr page_id, Victim &victim)
     e.blocks.reset();
     e.predicted = BlockBitmap{};
     e.fht = FhtRef{};
+    keys_[base + way] = page_id;
     return &e;
 }
 

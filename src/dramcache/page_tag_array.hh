@@ -84,6 +84,34 @@ class PageTagArray
      */
     PageTagEntry *lookup(Addr page_id, bool touch = true);
 
+    /** Prefetch the key line of @p page_id's set (stage 1). */
+    void
+    prefetchSet(Addr page_id) const
+    {
+        const std::size_t base = setOf(page_id) * config_.assoc;
+        for (unsigned off = 0; off < config_.assoc; off += 8)
+            __builtin_prefetch(&keys_[base + off]);
+    }
+
+    /**
+     * Peek the (stage-1-prefetched) keys and prefetch the matching
+     * way's entry (stage 2). No LRU side effects.
+     */
+    void
+    prefetchEntry(Addr page_id) const
+    {
+        const std::size_t base = setOf(page_id) * config_.assoc;
+        const unsigned match_way =
+            scanWays(&keys_[base], config_.assoc, page_id);
+        if (match_way != config_.assoc) {
+            const char *e = reinterpret_cast<const char *>(
+                &entries_[base + match_way]);
+            __builtin_prefetch(e);
+            __builtin_prefetch(e + 64);
+        }
+    }
+
+
     /** Eviction information returned by allocate(). */
     struct Victim
     {
@@ -112,7 +140,7 @@ class PageTagArray
     Addr
     frameAddr(std::uint64_t frame) const
     {
-        return frame * config_.pageBytes;
+        return frame << page_shift_;
     }
 
     /**
@@ -136,14 +164,29 @@ class PageTagArray
     }
 
   private:
-    std::uint64_t setOf(Addr page_id) const;
+    /** keys_ sentinel for an invalid way. */
+    static constexpr Addr kNoPage = ~static_cast<Addr>(0);
+
+    std::uint64_t
+    setOf(Addr page_id) const
+    {
+        return page_id & (sets_ - 1);
+    }
 
     Config config_;
     std::uint64_t frames_;
     std::uint64_t sets_;
     unsigned blocks_per_page_;
+    /** floorLog2(pageBytes), for frameAddr. */
+    unsigned page_shift_;
     std::uint64_t tick_ = 0;
     std::vector<PageTagEntry> entries_;
+    /**
+     * Packed copy of each way's pageId (kNoPage when invalid): the
+     * associative probe scans 8 bytes per way instead of a whole
+     * PageTagEntry, so a 16-way set fits in two cache lines.
+     */
+    std::vector<Addr> keys_;
 };
 
 } // namespace fpc

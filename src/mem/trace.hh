@@ -33,6 +33,26 @@ class TraceSource
      */
     virtual bool next(unsigned core_id, TraceRecord &out) = 0;
 
+    /**
+     * Zero-copy batch access: expose a span of ready records for
+     * @p core_id without copying, or return 0 when the source
+     * cannot (consumers then fall back to next()). The span stays
+     * valid until the next call into the source; consume it with
+     * skip(). Only sources whose stream is core-agnostic can
+     * support this (the records are handed to whichever core the
+     * caller is currently driving).
+     */
+    virtual std::size_t
+    acquire(unsigned core_id, TraceRecord *&span)
+    {
+        (void)core_id;
+        span = nullptr;
+        return 0;
+    }
+
+    /** Consume @p n records previously exposed by acquire(). */
+    virtual void skip(std::size_t n) { (void)n; }
+
     /** Restart the stream from the beginning (if supported). */
     virtual void reset() {}
 };

@@ -40,31 +40,184 @@ PodSystem::capture(Cycle now) const
     return s;
 }
 
-RunMetrics
-PodSystem::run(std::uint64_t warmup_refs,
-               std::uint64_t measure_refs)
+void
+PodSystem::runWarmup(std::uint64_t warmup_refs)
 {
+    memory_.setMode(config_.warmupMode);
+    const bool timed = config_.warmupMode == SimMode::Timed;
+    const unsigned cores = config_.numCores;
+    const Cycle l1l2 =
+        config_.l1HitLatency + config_.l2HitLatency;
+
+    // Per-core clocks approximate issue times for the Timed
+    // baseline (blocking in-order issue); Functional mode never
+    // reads them. Dispatch is round-robin and therefore identical
+    // in both modes, which is what makes the post-warmup state
+    // bit-identical.
+    std::vector<Cycle> clock(cores, 0);
+    std::vector<bool> alive(cores, true);
+    unsigned num_alive = cores;
+    unsigned core = 0;
+
+    // Dispatch hands each core a burst of kDispatchBurst
+    // consecutive records rather than rotating every record: the
+    // event-queue loop lets a core ride its L1 hits through the
+    // consecutive same-block repeats of the stream, and per-record
+    // rotation would scatter those repeats across cores and feed
+    // the L2 nearly every record. The L2-miss stream the DRAM
+    // cache trains on is essentially dispatch-invariant, so this
+    // only restores the L1 locality the timing loop exhibits.
+    constexpr unsigned kDispatchBurst = 1024; // power of two
+    std::uint64_t pulled = 0;
+
+    // Deferred memory-operation FIFO. Records that hit in the
+    // hierarchy never touch the memory system, so its demand
+    // accesses and writebacks can be postponed across them as long
+    // as their mutual order is preserved — the memory system then
+    // observes exactly the sequence immediate processing would
+    // produce, but each operation has had kMemQueue slots of
+    // prefetch distance for its tag/tracking state.
+    struct PendingMemOp
+    {
+        MemRequest req;
+        std::uint32_t computeGap;
+        bool isWriteback;
+    };
+    constexpr unsigned kMemQueue = 8; // power of two
+    PendingMemOp memq[kMemQueue];
+    unsigned mem_head = 0;
+    unsigned mem_count = 0;
+
+    auto drainOne = [&]() {
+        const PendingMemOp &op = memq[mem_head];
+        mem_head = (mem_head + 1) & (kMemQueue - 1);
+        --mem_count;
+        const unsigned op_core = op.req.coreId;
+        if (op.isWriteback) {
+            memory_.writeback(clock[op_core], op.req.paddr);
+        } else if (timed) {
+            const Cycle compute = static_cast<Cycle>(
+                static_cast<double>(op.computeGap) /
+                config_.coreIpc);
+            const Cycle issue = clock[op_core] + compute + l1l2;
+            MemSystemResult res = memory_.access(issue, op.req);
+            clock[op_core] =
+                op.req.op == MemOp::Read ? res.doneAt : issue;
+        } else {
+            memory_.access(0, op.req);
+        }
+    };
+    auto enqueue = [&](const PendingMemOp &op) {
+        if (mem_count == kMemQueue)
+            drainOne();
+        memq[(mem_head + mem_count) & (kMemQueue - 1)] = op;
+        ++mem_count;
+        memory_.prefetchFor(op.req.paddr);
+        if (mem_count > kMemQueue / 2) {
+            memory_.prefetchFor2(
+                memq[(mem_head + kMemQueue / 2) & (kMemQueue - 1)]
+                    .req.paddr);
+        }
+    };
+
+    auto process = [&](const TraceRecord &rec) {
+        ++total_records_;
+        total_instructions_ += rec.computeGap + 1;
+
+        HierarchyOutcome out = hierarchy_.access(rec.req);
+        if (!out.l1Hit && !out.l2Hit) {
+            PendingMemOp op;
+            op.req = rec.req;
+            op.computeGap = rec.computeGap;
+            op.isWriteback = false;
+            enqueue(op);
+        }
+        for (unsigned i = 0; i < out.numWritebacks; ++i) {
+            PendingMemOp op;
+            op.req.paddr = out.writebackAddr[i];
+            op.req.coreId = rec.req.coreId;
+            op.computeGap = 0;
+            op.isWriteback = true;
+            enqueue(op);
+        }
+    };
+
+    TraceRecord rec;
+    while (pulled < warmup_refs && num_alive > 0) {
+        if (!alive[core]) {
+            core = (core + 1 == cores) ? 0 : core + 1;
+            continue;
+        }
+
+        // Zero-copy fast path: consume the source's ready batch in
+        // place. Only the lightweight loop can do this — the
+        // timing loop's record-to-core dispatch is decided one
+        // record at a time by the event queue.
+        TraceRecord *span = nullptr;
+        std::size_t avail = trace_.acquire(core, span);
+        if (avail > 0) {
+            const std::uint64_t burst_left =
+                kDispatchBurst - (pulled & (kDispatchBurst - 1));
+            const std::uint64_t take = std::min<std::uint64_t>(
+                {avail, burst_left, warmup_refs - pulled});
+            for (std::uint64_t i = 0; i < take; ++i) {
+                span[i].req.coreId =
+                    static_cast<std::uint16_t>(core);
+                process(span[i]);
+            }
+            trace_.skip(take);
+            pulled += take;
+            if ((pulled & (kDispatchBurst - 1)) == 0)
+                core = (core + 1 == cores) ? 0 : core + 1;
+            continue;
+        }
+
+        // Per-record fallback for sources without batch access.
+        if (!trace_.next(core, rec)) {
+            alive[core] = false;
+            --num_alive;
+            core = (core + 1 == cores) ? 0 : core + 1;
+            continue;
+        }
+        rec.req.coreId = static_cast<std::uint16_t>(core);
+        ++pulled;
+        if ((pulled & (kDispatchBurst - 1)) == 0)
+            core = (core + 1 == cores) ? 0 : core + 1;
+        process(rec);
+    }
+    while (mem_count > 0)
+        drainOne();
+
+    // Phase boundary: the measurement loop restarts time at zero
+    // from a drained memory system, so the measured window is
+    // independent of how warmup was simulated.
+    memory_.setMode(SimMode::Timed);
+    if (stacked_)
+        stacked_->resetTiming();
+    offchip_.resetTiming();
+}
+
+Cycle
+PodSystem::runMeasure(std::uint64_t measure_refs)
+{
+    const std::uint64_t stop = total_records_ + measure_refs;
+
     EventQueue<unsigned> ready;
     for (unsigned c = 0; c < config_.numCores; ++c)
         ready.schedule(0, c);
 
-    // Outstanding load-miss completion times per core (bounded by
-    // mlpPerCore); a full window stalls the core until the oldest
-    // miss returns.
-    std::vector<std::vector<Cycle>> outstanding(config_.numCores);
+    // Outstanding load-miss completion times per core, bounded by
+    // mlpPerCore: a fixed-size window (at most mlp + 1 entries
+    // live at once) replaces the heap-allocating vector loop. A
+    // full window stalls the core until the oldest miss returns.
     const unsigned mlp = std::max(1u, config_.mlpPerCore);
+    const unsigned cap = mlp + 1;
+    std::vector<Cycle> window(
+        static_cast<std::size_t>(config_.numCores) * cap);
+    std::vector<unsigned> depth(config_.numCores, 0);
 
-    const std::uint64_t stop_refs =
-        total_records_ + warmup_refs + measure_refs;
-    const std::uint64_t snap_refs = total_records_ + warmup_refs;
-
-    Snapshot start{};
-    bool snapped = (warmup_refs == 0);
     Cycle now = 0;
-    if (snapped)
-        start = capture(0);
-
-    while (!ready.empty() && total_records_ < stop_refs) {
+    while (!ready.empty() && total_records_ < stop) {
         auto [when, core] = ready.pop();
         now = std::max(now, when);
 
@@ -111,34 +264,58 @@ PodSystem::run(std::uint64_t warmup_refs,
         } else if (long_miss) {
             // The OoO window hides load misses until mlp are in
             // flight; then the core stalls for the oldest one.
-            auto &window = outstanding[core];
-            std::erase_if(window, [&](Cycle c) {
-                return c <= issue_at;
-            });
-            window.push_back(ready_at);
-            if (window.size() <= mlp) {
+            Cycle *win = &window[static_cast<std::size_t>(core) *
+                                 cap];
+            unsigned n = depth[core];
+            unsigned kept = 0;
+            for (unsigned i = 0; i < n; ++i) {
+                if (win[i] > issue_at)
+                    win[kept++] = win[i];
+            }
+            n = kept;
+            win[n++] = ready_at;
+            if (n <= mlp) {
                 ready_at = issue_at + config_.l1HitLatency;
             } else {
-                auto oldest = std::min_element(window.begin(),
-                                               window.end());
-                ready_at = std::max(*oldest,
+                unsigned oldest = 0;
+                for (unsigned i = 1; i < n; ++i) {
+                    if (win[i] < win[oldest])
+                        oldest = i;
+                }
+                ready_at = std::max(win[oldest],
                                     issue_at +
                                         config_.l1HitLatency);
-                window.erase(oldest);
+                win[oldest] = win[--n];
             }
+            depth[core] = n;
         }
 
         ready.schedule(ready_at, core);
+    }
+    return now;
+}
 
-        if (!snapped && total_records_ >= snap_refs) {
-            start = capture(now);
-            snapped = true;
+RunMetrics
+PodSystem::run(std::uint64_t warmup_refs,
+               std::uint64_t measure_refs)
+{
+    if (warmup_refs > 0) {
+        if (config_.allTimedWarmup) {
+            // Legacy all-timed engine: warmup pays the full
+            // event-queue timing loop. Drain the channels at the
+            // boundary as the lightweight paths do.
+            runMeasure(warmup_refs);
+            if (stacked_)
+                stacked_->resetTiming();
+            offchip_.resetTiming();
+        } else {
+            runWarmup(warmup_refs);
         }
     }
 
-    Snapshot end = capture(now);
-    if (!snapped)
-        start = Snapshot{};
+    const Snapshot start = capture(0);
+    const Cycle end_now = runMeasure(measure_refs);
+    const Snapshot end = capture(end_now);
 
     RunMetrics m;
     m.instructions = end.instructions - start.instructions;

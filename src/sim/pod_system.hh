@@ -4,12 +4,26 @@
  * private L1Ds, a shared L2, a below-L2 memory system (one of the
  * five organizations), stacked and off-chip DRAM channel models.
  *
- * Cores are trace-driven agents dispatched in global time order.
- * Loads block the issuing core until the critical block returns;
- * stores retire without blocking (write-buffer approximation) but
- * still consume hierarchy and DRAM resources. The performance
- * metric is the paper's: aggregate committed instructions over
- * total cycles (§5.4).
+ * The engine is two-phase. The warmup phase dispatches records to
+ * cores round-robin through a lightweight loop with no event queue
+ * and no OoO/MLP bookkeeping — its only job is to warm every
+ * architectural structure (hierarchy, DRAM-cache tags, FHT,
+ * MissMap, singleton table). Under SimMode::Functional (the
+ * default) the memory system also skips all DRAM bank-timing and
+ * energy model calls; under SimMode::Timed it exercises them,
+ * which serves as the all-timed cost baseline (bench/perf_engine).
+ * Because record-to-core dispatch is timing-independent and no
+ * structure's state update reads the cycle argument, both warmup
+ * modes leave bit-identical state at the phase boundary, where the
+ * DRAM channels are drained (resetTiming) and time rebases to 0.
+ *
+ * The measurement phase is the full timing loop: cores are
+ * trace-driven agents dispatched in global time order. Loads block
+ * the issuing core until the critical block returns; stores retire
+ * without blocking (write-buffer approximation) but still consume
+ * hierarchy and DRAM resources. The performance metric is the
+ * paper's: aggregate committed instructions over total cycles
+ * (§5.4).
  */
 
 #ifndef FPC_SIM_POD_SYSTEM_HH
@@ -46,6 +60,24 @@ struct PodConfig
      * (Table 3). 1 models a blocking in-order core.
      */
     unsigned mlpPerCore = 4;
+
+    /**
+     * Fidelity of the warmup phase. Functional (default) warms all
+     * state without DRAM timing/energy modeling; Timed pays the
+     * full model and exists as the perf baseline. Measured-phase
+     * results are bit-identical across the two.
+     */
+    SimMode warmupMode = SimMode::Functional;
+
+    /**
+     * Legacy all-timed engine: drive warmup through the full
+     * event-queue OoO/MLP timing loop instead of the lightweight
+     * loop (warmupMode is then ignored; everything is timed).
+     * Kept as the cost baseline for bench/perf_engine — dispatch
+     * order then depends on warmup timing, so measured results are
+     * NOT bit-identical with the lightweight warmup modes.
+     */
+    bool allTimedWarmup = false;
 
     CacheHierarchy::Config hierarchy =
         CacheHierarchy::Config::scaleOutPod();
@@ -133,12 +165,16 @@ class PodSystem
 
     /**
      * Run @p warmup_refs trace records to warm the hierarchy and
-     * the DRAM cache, then measure over @p measure_refs records.
+     * the DRAM cache (per PodConfig::warmupMode), then measure
+     * over @p measure_refs records with the full timing loop.
      */
     RunMetrics run(std::uint64_t warmup_refs,
                    std::uint64_t measure_refs);
 
     const CacheHierarchy &hierarchy() const { return hierarchy_; }
+
+    /** Records consumed so far (all phases, all run() calls). */
+    std::uint64_t totalRecords() const { return total_records_; }
 
   private:
     struct Snapshot
@@ -160,6 +196,16 @@ class PodSystem
     };
 
     Snapshot capture(Cycle now) const;
+
+    /**
+     * Lightweight warmup loop: round-robin dispatch, no event
+     * queue, no load-miss blocking. Drains the DRAM channels and
+     * restores SimMode::Timed before returning.
+     */
+    void runWarmup(std::uint64_t warmup_refs);
+
+    /** Full OoO/MLP timing loop; returns the final cycle. */
+    Cycle runMeasure(std::uint64_t measure_refs);
 
     PodConfig config_;
     TraceSource &trace_;

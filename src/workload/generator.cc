@@ -17,6 +17,16 @@ SyntheticTraceSource::SyntheticTraceSource(const WorkloadSpec &spec)
     FPC_ASSERT(!spec_.classes.empty());
     FPC_ASSERT(isPowerOf2(spec_.pageBytes));
     FPC_ASSERT(blocks_per_page_ >= 1 && blocks_per_page_ <= 64);
+    FPC_ASSERT(spec_.gapMin <= spec_.gapMax);
+    FPC_ASSERT(spec_.writeFraction >= 0.0 &&
+               spec_.writeFraction <= 1.0);
+    gap_span_ =
+        std::uint64_t{spec_.gapMax} - spec_.gapMin + 1;
+    write_threshold_ =
+        spec_.writeFraction >= 1.0
+            ? (std::uint64_t{1} << 32)
+            : static_cast<std::uint64_t>(spec_.writeFraction *
+                                         4294967296.0);
     init();
 }
 
@@ -28,6 +38,7 @@ SyntheticTraceSource::init()
     class_cdf_.clear();
     schedule_ = {};
     pending_.clear();
+    pending_pos_ = 0;
     emitted_ = 0;
     sched_seq_ = 0;
     scan_next_page_ = 0;
@@ -191,12 +202,23 @@ SyntheticTraceSource::emitAccess(Addr page_id, unsigned block,
     const Addr base = page_id * spec_.pageBytes +
                       static_cast<Addr>(block) * kBlockBytes;
     for (unsigned r = 0; r < repeats; ++r) {
+        // One 64-bit draw per record: the low half picks the
+        // compute gap (Lemire reduction), the high half the
+        // read/write coin — halving the RNG work of the previous
+        // two-draw scheme on the hottest generation path.
+        const std::uint64_t bits = rng_.next();
         TraceRecord rec;
-        rec.computeGap = static_cast<std::uint32_t>(
-            rng_.range(spec_.gapMin, spec_.gapMax));
+        rec.computeGap =
+            spec_.gapMin +
+            static_cast<std::uint32_t>(
+                (static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(bits)) *
+                 gap_span_) >>
+                32); // gap_span_ <= 2^32: the product fits 64 bits
         rec.req.paddr = base + (r * 8) % kBlockBytes;
         rec.req.pc = pc;
-        rec.req.op = rng_.chance(spec_.writeFraction)
+        rec.req.op = static_cast<std::uint32_t>(bits >> 32) <
+                             write_threshold_
                          ? MemOp::Write
                          : MemOp::Read;
         pending_.push_back(rec);
@@ -250,7 +272,36 @@ bool
 SyntheticTraceSource::next(unsigned core_id, TraceRecord &out)
 {
     (void)core_id;
-    while (pending_.empty()) {
+    if (pending_pos_ == pending_.size())
+        refill();
+    out = pending_[pending_pos_++];
+    return true;
+}
+
+std::size_t
+SyntheticTraceSource::acquire(unsigned core_id,
+                              TraceRecord *&span)
+{
+    (void)core_id;
+    if (pending_pos_ == pending_.size())
+        refill();
+    span = pending_.data() + pending_pos_;
+    return pending_.size() - pending_pos_;
+}
+
+void
+SyntheticTraceSource::skip(std::size_t n)
+{
+    FPC_ASSERT(pending_pos_ + n <= pending_.size());
+    pending_pos_ += n;
+}
+
+void
+SyntheticTraceSource::refill()
+{
+    pending_.clear();
+    pending_pos_ = 0;
+    while (pending_.size() < kBatchRecords) {
         if (schedule_.empty() || schedule_.top().due > emitted_)
             startVisit();
         Scheduled top = schedule_.top();
@@ -258,9 +309,6 @@ SyntheticTraceSource::next(unsigned core_id, TraceRecord &out)
         Visit v = top.visit;
         emitBurst(v);
     }
-    out = pending_.front();
-    pending_.pop_front();
-    return true;
 }
 
 void

@@ -18,7 +18,6 @@
 #define FPC_WORKLOAD_GENERATOR_HH
 
 #include <cstdint>
-#include <deque>
 #include <queue>
 #include <vector>
 
@@ -35,6 +34,9 @@ class SyntheticTraceSource : public TraceSource
     explicit SyntheticTraceSource(const WorkloadSpec &spec);
 
     bool next(unsigned core_id, TraceRecord &out) override;
+    std::size_t acquire(unsigned core_id,
+                        TraceRecord *&span) override;
+    void skip(std::size_t n) override;
     void reset() override;
 
     /** Distinct page visits started so far. */
@@ -80,6 +82,7 @@ class SyntheticTraceSource : public TraceSource
     };
 
     void init();
+    void refill();
     void startVisit();
     void emitBurst(Visit &visit);
     void emitAccess(Addr page_id, unsigned block, Pc pc);
@@ -92,11 +95,25 @@ class SyntheticTraceSource : public TraceSource
                            Pattern &pattern,
                            std::uint64_t epoch_seed);
 
+    /** Records generated ahead per refill of the batch buffer. */
+    static constexpr std::size_t kBatchRecords = 2048;
+
     WorkloadSpec spec_;
     unsigned blocks_per_page_;
+    /**
+     * gapMax - gapMin + 1 (single-draw gap selection); 64-bit so
+     * a range spanning the whole 32-bit domain cannot wrap to 0.
+     */
+    std::uint64_t gap_span_;
+    /**
+     * writeFraction scaled to 2^32 (single-draw op selection);
+     * 64-bit so a fraction of 1.0 maps to exactly 2^32, above
+     * every possible 32-bit coin.
+     */
+    std::uint64_t write_threshold_;
     Rng rng_;
-    ZipfSampler page_zipf_;
-    ZipfSampler hot_zipf_;
+    AliasZipfSampler page_zipf_;
+    AliasZipfSampler hot_zipf_;
 
     /** Per-class pattern tables. */
     std::vector<std::vector<Pattern>> patterns_;
@@ -107,7 +124,14 @@ class SyntheticTraceSource : public TraceSource
     std::priority_queue<Scheduled, std::vector<Scheduled>,
                         std::greater<>>
         schedule_;
-    std::deque<TraceRecord> pending_;
+    /**
+     * Batch buffer: bursts are generated kBatchRecords ahead into
+     * a flat vector served by cursor, replacing a per-record deque
+     * pop. Generation state never depends on consumption, so the
+     * emitted stream is identical to unbatched generation.
+     */
+    std::vector<TraceRecord> pending_;
+    std::size_t pending_pos_ = 0;
     std::uint64_t emitted_ = 0;
     std::uint64_t sched_seq_ = 0;
     std::uint64_t scan_next_page_ = 0;
