@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Thin main for the per-figure/table bench binaries: the target's
+ * experiment name is baked in by CMake via FPC_EXPERIMENT_NAME
+ * and everything else — flags, expansion, the parallel runner,
+ * reporting — is the shared registry machinery.
+ */
+
+#include "experiments/experiments.hh"
+
+#ifndef FPC_EXPERIMENT_NAME
+#error "build with -DFPC_EXPERIMENT_NAME=\"<registry name>\""
+#endif
+
+int
+main(int argc, char **argv)
+{
+    return fpcbench::runExperimentCli(FPC_EXPERIMENT_NAME, argc,
+                                      argv);
+}

@@ -1,0 +1,26 @@
+/** @file Registration of every paper experiment. */
+
+#include "experiments/experiments.hh"
+
+namespace fpcbench {
+
+void
+registerAllExperiments(ExperimentRegistry &reg)
+{
+    registerFig01(reg);
+    registerFig04(reg);
+    registerFig05(reg);
+    registerFig06(reg);
+    registerFig07(reg);
+    registerFig08(reg);
+    registerFig09(reg);
+    registerFig10(reg);
+    registerFig11(reg);
+    registerFig12(reg);
+    registerTable1(reg);
+    registerTable4(reg);
+    registerAblationCapacity(reg);
+    registerAblationPredictor(reg);
+}
+
+} // namespace fpcbench

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared CLI driver for the per-figure binaries: the common flag
+ * set (--quick, --scale, --seed, --workload, --jobs, --out),
+ * expansion of one registry entry, the SweepRunner and the
+ * report/JSON emission. The multi-experiment `sweep` binary has
+ * its own main (bench/sweep.cc) on top of the same pieces.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiments/experiments.hh"
+
+namespace fpcbench {
+
+int
+runExperimentCli(const char *experiment, int argc, char **argv)
+{
+    SweepOptions opts;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (parseCommonFlag(opts, argc, argv, i)) {
+            continue;
+        } else if (!std::strcmp(argv[i], "--out") &&
+                   i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s %s [--out FILE]\n",
+                         argv[0], kCommonFlagsUsage);
+            return 2;
+        }
+    }
+    if (!checkWorkloadFilter(opts))
+        return 2;
+
+    ExperimentRegistry &reg = ExperimentRegistry::instance();
+    if (reg.empty())
+        registerAllExperiments(reg);
+    const ExperimentDef *def = reg.find(experiment);
+    if (!def) {
+        std::fprintf(stderr, "unknown experiment: %s\n",
+                     experiment);
+        return 1;
+    }
+
+    ExperimentRun run;
+    run.name = def->name;
+    run.title = def->title;
+    run.points = def->build(opts);
+    try {
+        run.results = SweepRunner(opts.jobs).run(run.points);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ERROR: %s\n", e.what());
+        return 1;
+    }
+    def->report(opts, run.points, run.results);
+
+    if (!out_path.empty()) {
+        if (!writeTextFile(out_path,
+                           renderSweepJson(opts, {run})))
+            return 1;
+        std::printf("\nwrote %s\n", out_path.c_str());
+    }
+    return 0;
+}
+
+} // namespace fpcbench

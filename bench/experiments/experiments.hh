@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The paper's figure/table/ablation targets as experiment-registry
+ * entries. Each register function declares one experiment — a
+ * builder expanding it into ExperimentPoints and a reporter that
+ * prints the paper-shaped table — into a registry; the per-figure
+ * binaries, the unified `sweep` CLI and tests/test_sweep.cc all
+ * drive them through the shared SweepRunner.
+ */
+
+#ifndef FPC_BENCH_EXPERIMENTS_HH
+#define FPC_BENCH_EXPERIMENTS_HH
+
+#include "sim/registry.hh"
+#include "sim/sweep.hh"
+
+namespace fpcbench {
+
+using namespace fpc;
+
+void registerFig01(ExperimentRegistry &reg);
+void registerFig04(ExperimentRegistry &reg);
+void registerFig05(ExperimentRegistry &reg);
+void registerFig06(ExperimentRegistry &reg);
+void registerFig07(ExperimentRegistry &reg);
+void registerFig08(ExperimentRegistry &reg);
+void registerFig09(ExperimentRegistry &reg);
+void registerFig10(ExperimentRegistry &reg);
+void registerFig11(ExperimentRegistry &reg);
+void registerFig12(ExperimentRegistry &reg);
+void registerTable1(ExperimentRegistry &reg);
+void registerTable4(ExperimentRegistry &reg);
+void registerAblationCapacity(ExperimentRegistry &reg);
+void registerAblationPredictor(ExperimentRegistry &reg);
+
+/** Register every paper experiment, in presentation order. */
+void registerAllExperiments(ExperimentRegistry &reg);
+
+/**
+ * Shared CLI driver for the per-figure binaries: parse the common
+ * flags (--quick, --scale, --seed, --workload, --jobs, --out),
+ * expand the named experiment, run it through the SweepRunner,
+ * print its report and optionally write the JSON.
+ */
+int runExperimentCli(const char *experiment, int argc,
+                     char **argv);
+
+} // namespace fpcbench
+
+#endif // FPC_BENCH_EXPERIMENTS_HH

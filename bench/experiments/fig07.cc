@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 7: performance improvement for Data Serving, the
+ * bandwidth monster plotted on its own scale in the paper.
+ * Always runs Data Serving regardless of --workload.
+ *
+ * Expected shape (paper): page-based strongly negative at 64MB,
+ * recovering with capacity; Footprint large and positive
+ * throughout; Ideal around +312%.
+ */
+
+#include <cstdio>
+
+#include "experiments/experiments.hh"
+
+namespace fpcbench {
+
+namespace {
+
+const DesignKind kDesigns[] = {DesignKind::Block,
+                               DesignKind::Page,
+                               DesignKind::Footprint,
+                               DesignKind::Ideal};
+
+} // namespace
+
+void
+registerFig07(ExperimentRegistry &reg)
+{
+    ExperimentDef def;
+    def.name = "fig07";
+    def.title = "Data Serving performance improvement";
+
+    def.build = [](const SweepOptions &opts) {
+        const WorkloadKind wk = WorkloadKind::DataServing;
+        std::vector<ExperimentPoint> points;
+        ExperimentPoint base;
+        base.experiment = "fig07";
+        base.workload = wk;
+        base.cfg.design = DesignKind::Baseline;
+        base.scale = opts.scale;
+        base.baseSeed = opts.seed;
+        base.label = standardLabel(wk, base.cfg);
+        points.push_back(base);
+        for (std::uint64_t mb : kPaperCapacities) {
+            for (DesignKind d : kDesigns) {
+                ExperimentPoint p = base;
+                p.cfg.design = d;
+                p.cfg.capacityMb = mb;
+                p.label = standardLabel(wk, p.cfg);
+                points.push_back(p);
+            }
+        }
+        return points;
+    };
+
+    def.report = [](const SweepOptions &,
+                    const std::vector<ExperimentPoint> &,
+                    const std::vector<PointResult> &results) {
+        const double b = results[0].metrics.ipc();
+        std::printf("\nData Serving (performance improvement "
+                    "over baseline, %%)\n");
+        std::printf("  %-6s %9s %9s %9s %9s\n", "size", "block",
+                    "page", "fprint", "ideal");
+        std::size_t i = 1;
+        for (std::uint64_t mb : kPaperCapacities) {
+            std::printf("  %4lluMB",
+                        static_cast<unsigned long long>(mb));
+            for (int d = 0; d < 4; ++d) {
+                std::printf(
+                    " %+8.1f%%",
+                    100.0 * (results[i].metrics.ipc() / b - 1.0));
+                ++i;
+            }
+            std::printf("\n");
+        }
+    };
+
+    reg.add(std::move(def));
+}
+
+} // namespace fpcbench

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 12: hot-page analysis (the CHOP discussion of §6.7).
+ * Minimum size of an ideal, perfectly-replaced 4KB-page cache
+ * needed to capture a given fraction of all LLC accesses.
+ *
+ * Expected shape (paper): scale-out datasets have no compact hot
+ * set — capturing 80% of accesses needs caches beyond practical
+ * stacked capacities (vs Multiprogrammed, which is compact).
+ */
+
+#include <cstdio>
+
+#include "dram/system.hh"
+#include "experiments/experiments.hh"
+#include "sim/pod_system.hh"
+#include "workload/analysis.hh"
+#include "workload/generator.hh"
+
+namespace fpcbench {
+
+namespace {
+
+const double kFractions[] = {0.2, 0.4, 0.6, 0.8};
+
+/**
+ * LLC-filtered access counting: the pod runs with a counting
+ * "memory system" below the L2 instead of a DRAM organization.
+ */
+PointResult
+runHotPages(const ExperimentPoint &point)
+{
+    WorkloadSpec spec =
+        makeWorkload(point.workload, 2048, point.traceSeed());
+    SyntheticTraceSource trace(spec);
+    AccessCountingMemory mem(4096);
+    DramSystem off(DramSystem::Config::offchipPod());
+    PodConfig pod_cfg;
+    PodSystem pod(pod_cfg, trace, mem, nullptr, off);
+    PointResult out;
+    out.metrics = pod.run(
+        0, static_cast<std::uint64_t>(12e6 * point.scale));
+    for (double f : kFractions) {
+        out.extra.emplace_back(
+            "ideal_mb_" + std::to_string(
+                              static_cast<int>(100 * f)),
+            mem.idealCacheSizeMb(f));
+    }
+    out.extra.emplace_back(
+        "distinct_4kb_pages",
+        static_cast<double>(mem.distinctPages()));
+    return out;
+}
+
+} // namespace
+
+void
+registerFig12(ExperimentRegistry &reg)
+{
+    ExperimentDef def;
+    def.name = "fig12";
+    def.title = "ideal hot-page cache size";
+
+    def.build = [](const SweepOptions &opts) {
+        std::vector<ExperimentPoint> points;
+        for (WorkloadKind wk : opts.workloads()) {
+            ExperimentPoint p;
+            p.experiment = "fig12";
+            p.workload = wk;
+            p.scale = opts.scale;
+            p.baseSeed = opts.seed;
+            p.label = std::string(workloadName(wk)) +
+                      "/hotpages/4096B";
+            p.custom = runHotPages;
+            points.push_back(std::move(p));
+        }
+        return points;
+    };
+
+    def.report = [](const SweepOptions &,
+                    const std::vector<ExperimentPoint> &points,
+                    const std::vector<PointResult> &results) {
+        std::printf("\nFigure 12: ideal cache size (MB) to cover "
+                    "a fraction of accesses (4KB pages)\n");
+        std::printf("  %-16s %8s %8s %8s %8s\n", "workload",
+                    "20%", "40%", "60%", "80%");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            std::printf("  %-16s",
+                        workloadName(points[i].workload));
+            double distinct = 0;
+            for (const auto &[name, value] : results[i].extra) {
+                if (name == "distinct_4kb_pages")
+                    distinct = value;
+                else
+                    std::printf(" %8.1f", value);
+            }
+            std::printf("   (%.0f distinct 4KB pages)\n",
+                        distinct);
+        }
+    };
+
+    reg.add(std::move(def));
+}
+
+} // namespace fpcbench

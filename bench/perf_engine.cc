@@ -31,12 +31,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
-#include "bench_common.hh"
+#include "sim/sweep.hh"
+#include "workload/generator.hh"
 
-using namespace fpcbench;
+using namespace fpc;
 
 namespace {
 
@@ -177,26 +180,38 @@ main(int argc, char **argv)
 {
     std::string out_path = "BENCH_engine.json";
     double reference_seconds = 0.0;
-    std::vector<char *> rest;
-    rest.push_back(argv[0]);
+    SweepOptions args;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
             out_path = argv[++i];
         } else if (!std::strcmp(argv[i], "--reference-seconds") &&
                    i + 1 < argc) {
             reference_seconds = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            // perf_engine measures one engine serially; a shard
+            // pool would perturb the very timings it reports.
+            std::fprintf(stderr,
+                         "perf_engine is single-threaded; "
+                         "--jobs is not supported\n");
+            return 2;
+        } else if (parseCommonFlag(args, argc, argv, i)) {
+            continue;
         } else {
-            rest.push_back(argv[i]);
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--scale F] "
+                         "[--seed N] [--workload NAME] "
+                         "[--out FILE] "
+                         "[--reference-seconds S]\n",
+                         argv[0]);
+            return 2;
         }
     }
-    BenchArgs args =
-        BenchArgs::parse(static_cast<int>(rest.size()),
-                         rest.data());
+    if (!checkWorkloadFilter(args))
+        return 2;
 
     const std::uint64_t capacity_mb = 512;
-    const WorkloadKind wk = args.workloads().empty()
-                                ? WorkloadKind::WebSearch
-                                : args.workloads().front();
+    // checkWorkloadFilter guarantees a non-empty selection.
+    const WorkloadKind wk = args.workloads().front();
 
     // The external reference (scripts/bench_seed_baseline.sh) is
     // measured at scale 1.0 on DataServing with the default seed;
@@ -215,7 +230,7 @@ main(int argc, char **argv)
         DesignKind::Baseline, DesignKind::Block, DesignKind::Page,
         DesignKind::Footprint, DesignKind::Ideal};
 
-    printHeader("two-phase engine performance");
+    std::printf("\n=== two-phase engine performance ===\n");
     std::printf("workload %s, %lluMB, scale %.2f, seed %llu\n",
                 workloadName(wk),
                 static_cast<unsigned long long>(capacity_mb),

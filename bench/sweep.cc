@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unified sweep CLI: runs any subset of the registered paper
+ * experiments as one globally-sharded batch and merges the
+ * results into a single BENCH_*-shaped JSON report.
+ *
+ *   sweep --list
+ *   sweep --filter fig06 --jobs 8 --quick --out results.json
+ *   sweep --filter fig0,table --workload WebSearch
+ *
+ * --filter takes comma-separated substrings matched against
+ * experiment names (empty = all). Points from every selected
+ * experiment go into ONE work queue, so a wide shard pool stays
+ * busy even while a long-tailed experiment drains. The exit code
+ * is nonzero if any selected experiment is missing from the
+ * merged report (the CI sweep-smoke completeness gate).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "experiments/experiments.hh"
+
+using namespace fpcbench;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--list] [--filter PAT[,PAT...]]\n"
+                 "       %*s %s\n"
+                 "       %*s [--out FILE] [--no-report]\n",
+                 argv0, static_cast<int>(std::strlen(argv0)), "",
+                 fpc::kCommonFlagsUsage,
+                 static_cast<int>(std::strlen(argv0)), "");
+}
+
+/** Comma-separated substring match against an experiment name. */
+bool
+matchesFilter(const std::string &name, const std::string &filter)
+{
+    if (filter.empty())
+        return true;
+    std::size_t start = 0;
+    while (start <= filter.size()) {
+        std::size_t comma = filter.find(',', start);
+        if (comma == std::string::npos)
+            comma = filter.size();
+        const std::string pat =
+            filter.substr(start, comma - start);
+        if (!pat.empty() && name.find(pat) != std::string::npos)
+            return true;
+        start = comma + 1;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepOptions opts;
+    std::string out_path;
+    std::string filter;
+    bool list = false;
+    bool report = true;
+
+    for (int i = 1; i < argc; ++i) {
+        if (parseCommonFlag(opts, argc, argv, i)) {
+            continue;
+        } else if (!std::strcmp(argv[i], "--out") &&
+                   i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--filter") &&
+                   i + 1 < argc) {
+            filter = argv[++i];
+        } else if (!std::strcmp(argv[i], "--list")) {
+            list = true;
+        } else if (!std::strcmp(argv[i], "--no-report")) {
+            report = false;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (!checkWorkloadFilter(opts))
+        return 2;
+
+    ExperimentRegistry &reg = ExperimentRegistry::instance();
+    registerAllExperiments(reg);
+
+    if (list) {
+        for (const ExperimentDef &def : reg.all())
+            std::printf("%s\t%s\n", def.name.c_str(),
+                        def.title.c_str());
+        return 0;
+    }
+
+    // Expand every selected experiment, then shard the
+    // concatenation as one batch.
+    std::vector<ExperimentRun> runs;
+    std::vector<ExperimentPoint> batch;
+    for (const ExperimentDef &def : reg.all()) {
+        if (!matchesFilter(def.name, filter))
+            continue;
+        ExperimentRun run;
+        run.name = def.name;
+        run.title = def.title;
+        run.points = def.build(opts);
+        for (const ExperimentPoint &p : run.points)
+            batch.push_back(p);
+        runs.push_back(std::move(run));
+    }
+    if (runs.empty()) {
+        std::fprintf(stderr,
+                     "no experiment matches --filter '%s'\n",
+                     filter.c_str());
+        return 1;
+    }
+
+    SweepRunner runner(opts.jobs);
+    std::printf("sweep: %zu experiment(s), %zu point(s), "
+                "%u job(s), scale %.2f, seed %llu\n",
+                runs.size(), batch.size(), runner.jobs(),
+                opts.scale,
+                static_cast<unsigned long long>(opts.seed));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<PointResult> all;
+    try {
+        all = runner.run(batch);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ERROR: %s\n", e.what());
+        return 1;
+    }
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // Scatter results back to their experiments (batch order is
+    // runs order, points order within each run).
+    std::size_t cursor = 0;
+    for (ExperimentRun &run : runs) {
+        run.results.assign(all.begin() + cursor,
+                           all.begin() + cursor +
+                               run.points.size());
+        cursor += run.points.size();
+    }
+
+    if (report) {
+        for (const ExperimentRun &run : runs) {
+            const ExperimentDef *def = reg.find(run.name);
+            def->report(opts, run.points, run.results);
+        }
+    }
+
+    std::printf("\nsweep: %zu point(s) in %.1fs (%u jobs)\n",
+                batch.size(), seconds, runner.jobs());
+
+    const std::string json = renderSweepJson(opts, runs);
+    if (!out_path.empty()) {
+        if (!writeTextFile(out_path, json))
+            return 1;
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    // Completeness gate: every selected experiment must appear in
+    // the merged report.
+    int missing = 0;
+    for (const ExperimentRun &run : runs) {
+        if (!sweepJsonHasExperiment(json, run.name)) {
+            std::fprintf(stderr,
+                         "ERROR: experiment %s missing from the "
+                         "merged report\n",
+                         run.name.c_str());
+            ++missing;
+        }
+    }
+    return missing ? 1 : 0;
+}

@@ -1,7 +1,17 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, run the unit tests, and run
-# the engine perf bench in its quick configuration (which also
-# verifies warmup-mode equivalence end to end).
+# Full verification: configure, build, run the unit tests, run the
+# engine perf bench in its quick configuration (which also verifies
+# warmup-mode equivalence end to end), and run a quick slice of the
+# parallel sweep (which verifies registry completeness in the
+# merged report).
+#
+# Every step runs under `set -euo pipefail`: the first non-zero
+# exit aborts the script with that code.
+#
+# Usage: scripts/check.sh [--jobs N] [--build-dir DIR]
+#   --jobs is passed to the build, to ctest and to the sweep
+#   runner's shard pool (default: nproc; env JOBS also honored).
+
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -9,7 +19,29 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
 
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --jobs)
+            [[ $# -ge 2 ]] || { echo "--jobs needs a value" >&2; exit 2; }
+            JOBS="$2"
+            shift 2
+            ;;
+        --build-dir)
+            [[ $# -ge 2 ]] || { echo "--build-dir needs a value" >&2; exit 2; }
+            BUILD_DIR="$2"
+            shift 2
+            ;;
+        *)
+            echo "usage: $0 [--jobs N] [--build-dir DIR]" >&2
+            exit 2
+            ;;
+    esac
+done
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 "$BUILD_DIR"/perf_engine --quick --out "$BUILD_DIR"/BENCH_engine_quick.json
+# A cheap sweep slice; CI's sweep-smoke job runs the full grid.
+"$BUILD_DIR"/sweep --quick --jobs "$JOBS" --filter fig12,table1,table4 \
+    --out "$BUILD_DIR"/BENCH_sweep_quick.json

@@ -12,10 +12,12 @@
 #define FPC_COMMON_RNG_HH
 
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "common/logging.hh"
@@ -265,16 +267,36 @@ class AliasZipfSampler
     static std::shared_ptr<const Tables>
     sharedTables(std::uint64_t n, double s)
     {
+        // The mutex only guards the cache bookkeeping; the O(n)
+        // build runs outside it so sweep workers touching
+        // *distinct* (n, s) pairs construct concurrently, while
+        // same-key callers wait on the one in-flight build
+        // instead of duplicating it. weak_ptr keeps the tables
+        // reclaimable once no sampler holds them.
+        using Key = std::pair<std::uint64_t, double>;
         static std::mutex mu;
-        static std::map<std::pair<std::uint64_t, double>,
-                        std::weak_ptr<const Tables>>
-            cache;
-        std::lock_guard<std::mutex> lock(mu);
-        auto &slot = cache[{n, s}];
-        if (auto existing = slot.lock())
-            return existing;
+        static std::condition_variable cv;
+        static std::map<Key, std::weak_ptr<const Tables>> cache;
+        static std::set<Key> building;
+
+        const Key key{n, s};
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+            if (auto existing = cache[key].lock())
+                return existing;
+            if (!building.count(key))
+                break;
+            cv.wait(lock);
+        }
+        building.insert(key);
+        lock.unlock();
+
         auto built = buildTables(n, s);
-        slot = built;
+
+        lock.lock();
+        cache[key] = built;
+        building.erase(key);
+        cv.notify_all();
         return built;
     }
 

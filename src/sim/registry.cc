@@ -1,0 +1,45 @@
+/** @file Experiment registry (see registry.hh). */
+
+#include "sim/registry.hh"
+
+#include <stdexcept>
+
+namespace fpc {
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void
+ExperimentRegistry::add(ExperimentDef def)
+{
+    if (find(def.name))
+        throw std::runtime_error("duplicate experiment: " +
+                                 def.name);
+    defs_.push_back(std::move(def));
+}
+
+const ExperimentDef *
+ExperimentRegistry::find(const std::string &name) const
+{
+    for (const ExperimentDef &def : defs_) {
+        if (def.name == name)
+            return &def;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+ExperimentRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(defs_.size());
+    for (const ExperimentDef &def : defs_)
+        out.push_back(def.name);
+    return out;
+}
+
+} // namespace fpc

@@ -1,0 +1,447 @@
+/** @file Parallel sweep subsystem (see sweep.hh). */
+
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+#include "common/rng.hh"
+#include "workload/generator.hh"
+
+namespace fpc {
+
+const std::vector<std::uint64_t> kPaperCapacities = {64, 128, 256,
+                                                     512};
+
+std::vector<WorkloadKind>
+SweepOptions::workloads() const
+{
+    std::vector<WorkloadKind> out;
+    for (WorkloadKind wk : kAllWorkloads) {
+        if (workloadFilter.empty() ||
+            workloadFilter == workloadName(wk)) {
+            out.push_back(wk);
+        }
+    }
+    return out;
+}
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs)
+        return jobs;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned
+SweepOptions::effectiveJobs() const
+{
+    return resolveJobs(jobs);
+}
+
+bool
+parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
+{
+    if (!std::strcmp(argv[i], "--quick")) {
+        // A quarter of the 0.4 default, not 0.25 absolute.
+        opts.scale = 0.1;
+    } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+        opts.scale = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+        opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--workload") &&
+               i + 1 < argc) {
+        opts.workloadFilter = argv[++i];
+    } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+        opts.jobs = static_cast<unsigned>(
+            std::strtoul(argv[++i], nullptr, 10));
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *kCommonFlagsUsage =
+    "[--quick] [--scale F] [--seed N] [--workload NAME] "
+    "[--jobs N]";
+
+bool
+checkWorkloadFilter(const SweepOptions &opts)
+{
+    if (opts.workloadFilter.empty() || !opts.workloads().empty())
+        return true;
+    std::fprintf(stderr, "unknown workload '%s'; valid names:",
+                 opts.workloadFilter.c_str());
+    for (WorkloadKind wk : kAllWorkloads)
+        std::fprintf(stderr, " %s", workloadName(wk));
+    std::fprintf(stderr, "\n");
+    return false;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+std::uint64_t
+warmupRecords(std::uint64_t capacity_mb, double scale)
+{
+    const double base = 4.0e6 + 60.0e3 * capacity_mb;
+    return static_cast<std::uint64_t>(base * scale);
+}
+
+std::uint64_t
+measureRecords(double scale)
+{
+    return static_cast<std::uint64_t>(8.0e6 * scale);
+}
+
+namespace {
+
+/** FNV-1a over a string: the stable point-key hash. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+ExperimentPoint::key() const
+{
+    return experiment + "/" + label;
+}
+
+std::uint64_t
+ExperimentPoint::traceSeed() const
+{
+    // Trace identity only: points differing in organization,
+    // capacity or any predictor knob replay the same trace.
+    std::string id = workloadName(workload);
+    id += "/";
+    id += std::to_string(cfg.pageBytes);
+    return fnv1a(id) ^ mix64(baseSeed);
+}
+
+std::string
+standardLabel(WorkloadKind wk, const Experiment::Config &cfg)
+{
+    const Experiment::Config defaults;
+    std::string label = workloadName(wk);
+    label += "/";
+    label += designName(cfg.design);
+    label += "/" + std::to_string(cfg.capacityMb) + "MB";
+    label += "/" + std::to_string(cfg.pageBytes) + "B";
+    if (cfg.fhtEntries != defaults.fhtEntries)
+        label += "/fht" + std::to_string(cfg.fhtEntries);
+    if (!cfg.singletonOptimization)
+        label += "/nosingleton";
+    if (cfg.predictorIndex != defaults.predictorIndex)
+        label += cfg.predictorIndex == PredictorIndex::PcOnly
+                     ? "/idx=pc"
+                     : "/idx=offset";
+    if (cfg.fhtTrain != defaults.fhtTrain)
+        label += "/train=union";
+    if (cfg.footprintFetch != defaults.footprintFetch)
+        label += cfg.footprintFetch == FetchPolicy::FullPage
+                     ? "/fetch=page"
+                     : "/fetch=demand";
+    if (cfg.stackedChannels)
+        label +=
+            "/ch" + std::to_string(cfg.stackedChannels);
+    if (cfg.stackedLowLatency)
+        label += "/lowlat";
+    return label;
+}
+
+PointResult
+runPoint(const ExperimentPoint &point)
+{
+    if (point.custom)
+        return point.custom(point);
+
+    WorkloadSpec spec = makeWorkload(
+        point.workload, point.cfg.pageBytes, point.traceSeed());
+    SyntheticTraceSource trace(spec);
+    Experiment exp(point.cfg, trace);
+    PointResult out;
+    const std::uint64_t warm =
+        point.cfg.design == DesignKind::Baseline
+            ? warmupRecords(64, point.scale)
+            : warmupRecords(point.cfg.capacityMb, point.scale);
+    out.metrics = exp.run(warm, measureRecords(point.scale));
+    if (FootprintCache *fc = exp.footprintCache()) {
+        fc->finalizeResidency();
+        out.hasFootprint = true;
+        out.covered = fc->coveredBlocks();
+        out.underpred = fc->underpredictedBlocks();
+        out.overpred = fc->overpredictedBlocks();
+        out.trigMisses = fc->triggeringMisses();
+        out.singletonBypasses = fc->singletonBypasses();
+        const Histogram &h = fc->densityHistogram();
+        out.densityPages = h.totalSamples();
+        for (unsigned b = 0; b < h.numBuckets(); ++b)
+            out.densityBuckets.push_back(h.bucket(b));
+    }
+    return out;
+}
+
+std::vector<ExperimentPoint>
+SweepSpec::expand() const
+{
+    std::vector<ExperimentPoint> points;
+    for (WorkloadKind wk : workloads) {
+        for (std::uint64_t mb : capacitiesMb) {
+            for (DesignKind d : designs) {
+                for (unsigned pb : pageBytes) {
+                    for (std::uint32_t fht : fhtEntries) {
+                        ExperimentPoint p;
+                        p.experiment = experiment;
+                        p.workload = wk;
+                        p.cfg = base;
+                        p.cfg.design = d;
+                        p.cfg.capacityMb = mb;
+                        p.cfg.pageBytes = pb;
+                        p.cfg.fhtEntries = fht;
+                        p.scale = scale;
+                        p.baseSeed = seed;
+                        p.label = standardLabel(wk, p.cfg);
+                        points.push_back(std::move(p));
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(resolveJobs(jobs))
+{
+}
+
+std::vector<PointResult>
+SweepRunner::run(const std::vector<ExperimentPoint> &points) const
+{
+    // Duplicate keys would make the merged report ambiguous;
+    // catch them before burning any simulation time.
+    std::unordered_set<std::string> keys;
+    for (const ExperimentPoint &p : points) {
+        if (!keys.insert(p.key()).second)
+            throw std::runtime_error("duplicate sweep point key: " +
+                                     p.key());
+    }
+
+    // Lock-free collection: one pre-sized slot per point (and
+    // per error), a single atomic cursor for distribution. Point
+    // seeds never depend on which worker claims them. A throwing
+    // point must not escape its worker thread (std::terminate
+    // would lose the whole batch), so failures are recorded per
+    // slot and rethrown with their point key after the join.
+    std::vector<PointResult> results(points.size());
+    std::vector<std::string> errors(points.size());
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            try {
+                results[i] = runPoint(points[i]);
+            } catch (const std::exception &e) {
+                errors[i] = e.what();
+            } catch (...) {
+                errors[i] = "unknown error";
+            }
+        }
+    };
+
+    const unsigned workers = std::min<std::size_t>(
+        jobs_, points.size() ? points.size() : 1);
+    if (workers <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(work);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    std::size_t failed = 0;
+    std::string first;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (errors[i].empty())
+            continue;
+        if (!failed)
+            first = "sweep point " + points[i].key() +
+                    " failed: " + errors[i];
+        ++failed;
+    }
+    if (failed) {
+        if (failed > 1)
+            first += " (and " + std::to_string(failed - 1) +
+                     " more point(s))";
+        throw std::runtime_error(first);
+    }
+    return results;
+}
+
+namespace {
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+}
+
+void
+appendFmt(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+void
+appendPoint(std::string &out, const ExperimentPoint &p,
+            const PointResult &r)
+{
+    const RunMetrics &m = r.metrics;
+    out += "        {\"key\": \"";
+    appendJsonEscaped(out, p.key());
+    out += "\", \"workload\": \"";
+    appendJsonEscaped(out, workloadName(p.workload));
+    out += "\",\n";
+    appendFmt(out,
+              "         \"design\": \"%s\", \"capacity_mb\": "
+              "%" PRIu64 ", \"page_bytes\": %u, "
+              "\"seed\": %" PRIu64 ",\n",
+              designName(p.cfg.design), p.cfg.capacityMb,
+              p.cfg.pageBytes, p.traceSeed());
+    appendFmt(out,
+              "         \"metrics\": {\"ipc\": %.6f, "
+              "\"miss_ratio\": %.6f, \"instructions\": %" PRIu64
+              ", \"cycles\": %" PRIu64 ", \"trace_records\": "
+              "%" PRIu64 ",\n",
+              m.ipc(), m.missRatio(), m.instructions,
+              static_cast<std::uint64_t>(m.cycles),
+              m.traceRecords);
+    appendFmt(out,
+              "                     \"llc_misses\": %" PRIu64
+              ", \"demand_accesses\": %" PRIu64
+              ", \"demand_hits\": %" PRIu64 ",\n",
+              m.llcMisses, m.demandAccesses, m.demandHits);
+    appendFmt(out,
+              "                     \"offchip_bytes\": %" PRIu64
+              ", \"stacked_bytes\": %" PRIu64
+              ", \"offchip_acts\": %" PRIu64
+              ", \"stacked_acts\": %" PRIu64 ",\n",
+              m.offchipBytes, m.stackedBytes, m.offchipActs,
+              m.stackedActs);
+    appendFmt(out,
+              "                     \"offchip_energy_nj\": %.3f, "
+              "\"stacked_energy_nj\": %.3f}",
+              m.offchipActPreNj + m.offchipBurstNj,
+              m.stackedActPreNj + m.stackedBurstNj);
+    if (r.hasFootprint) {
+        appendFmt(out,
+                  ",\n         \"footprint\": {\"covered\": "
+                  "%" PRIu64 ", \"underpredicted\": %" PRIu64
+                  ", \"overpredicted\": %" PRIu64
+                  ", \"triggering_misses\": %" PRIu64
+                  ", \"singleton_bypasses\": %" PRIu64
+                  ", \"density_pages\": %" PRIu64 "}",
+                  r.covered, r.underpred, r.overpred,
+                  r.trigMisses, r.singletonBypasses,
+                  r.densityPages);
+    }
+    if (!r.extra.empty()) {
+        out += ",\n         \"extra\": {";
+        bool first = true;
+        for (const auto &[name, value] : r.extra) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += "\"";
+            appendJsonEscaped(out, name);
+            appendFmt(out, "\": %.6f", value);
+        }
+        out += "}";
+    }
+    out += "}";
+}
+
+} // namespace
+
+std::string
+renderSweepJson(const SweepOptions &options,
+                const std::vector<ExperimentRun> &runs)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"bench\": \"sweep\",\n";
+    appendFmt(out, "  \"scale\": %.4f,\n", options.scale);
+    appendFmt(out, "  \"seed\": %" PRIu64 ",\n", options.seed);
+    // Deliberately no "jobs" key: the report must be
+    // byte-identical across shard counts (tests/test_sweep.cc).
+    out += "  \"experiments\": {\n";
+    bool first_exp = true;
+    for (const ExperimentRun &run : runs) {
+        if (!first_exp)
+            out += ",\n";
+        first_exp = false;
+        out += "    \"";
+        appendJsonEscaped(out, run.name);
+        out += "\": {\n      \"title\": \"";
+        appendJsonEscaped(out, run.title);
+        out += "\",\n      \"points\": [";
+        for (std::size_t i = 0; i < run.points.size(); ++i) {
+            out += i ? ",\n" : "\n";
+            appendPoint(out, run.points[i], run.results[i]);
+        }
+        out += run.points.empty() ? "]\n    }" : "\n      ]\n    }";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+bool
+sweepJsonHasExperiment(const std::string &json,
+                       const std::string &name)
+{
+    return json.find("\"" + name + "\": {") != std::string::npos;
+}
+
+} // namespace fpc

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Parallel sweep subsystem.
+ *
+ * The paper's evaluation is a grid — organization × capacity ×
+ * workload (× page size × FHT size) — and every figure/table is a
+ * slice of it. A SweepSpec describes such a slice as axis lists and
+ * expands it into independent ExperimentPoints; a SweepRunner
+ * shards points across a thread pool and collects the results into
+ * pre-sized per-point slots (no locks on the result path).
+ *
+ * Determinism: a point's workload seed is derived from its *trace
+ * key* — workload name, page size and the user's base seed — never
+ * from thread schedule, shard index or registry position. Two
+ * consequences, both load-bearing:
+ *
+ *  - `--jobs 1` and `--jobs N` produce bit-identical per-point
+ *    metrics (tests/test_sweep.cc);
+ *  - points that differ only in cache organization or capacity
+ *    replay the *same* trace, preserving the paired-comparison
+ *    variance reduction the original per-figure benches had by
+ *    passing one global seed everywhere.
+ */
+
+#ifndef FPC_SIM_SWEEP_HH
+#define FPC_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workload/spec.hh"
+
+namespace fpc {
+
+/** Options shared by every sweep entry point (CLI and library). */
+struct SweepOptions
+{
+    /**
+     * Run-window scale. 1.0 reproduces the paper's shapes most
+     * faithfully (full FHT training at 512MB); the default is
+     * sized so the whole suite finishes in tens of minutes on two
+     * cores. --quick selects 0.1 (a quarter of the default).
+     */
+    double scale = 0.4;
+
+    /** Base workload seed; mixed into every point's trace seed. */
+    std::uint64_t seed = 42;
+
+    /** Restrict to one workload by name (empty = all six). */
+    std::string workloadFilter;
+
+    /** Worker threads (0 = hardware concurrency). */
+    unsigned jobs = 0;
+
+    /** Workloads selected by the filter (default: all six). */
+    std::vector<WorkloadKind> workloads() const;
+
+    /** Effective worker count (resolves 0 to the hardware). */
+    unsigned effectiveJobs() const;
+};
+
+/** Resolve a --jobs value: 0 means hardware concurrency. */
+unsigned resolveJobs(unsigned jobs);
+
+/**
+ * Parse the common sweep flag at argv[i] (--quick, --scale,
+ * --seed, --workload, --jobs), advancing i past any value.
+ * Returns false when argv[i] is not a common flag.
+ */
+bool parseCommonFlag(SweepOptions &opts, int argc, char **argv,
+                     int &i);
+
+/** The usage fragment for the common flags. */
+extern const char *kCommonFlagsUsage;
+
+/**
+ * Validate a parsed --workload filter: a non-empty filter that
+ * selects no workload is a typo, not an empty sweep. Prints the
+ * valid names to stderr and returns false in that case.
+ */
+bool checkWorkloadFilter(const SweepOptions &opts);
+
+/**
+ * Write @p content to @p path; prints to stderr and returns
+ * false on failure.
+ */
+bool writeTextFile(const std::string &path,
+                   const std::string &content);
+
+/** Paper capacities (MB), the default capacity axis. */
+extern const std::vector<std::uint64_t> kPaperCapacities;
+
+/**
+ * Warmup must cover cache fill plus FHT training: the only
+ * training events are evictions, so the window scales with
+ * capacity (DESIGN.md).
+ */
+std::uint64_t warmupRecords(std::uint64_t capacity_mb,
+                            double scale);
+
+/** Measurement window. */
+std::uint64_t measureRecords(double scale);
+
+/** Result of one experiment point. */
+struct PointResult
+{
+    RunMetrics metrics;
+
+    /* Snapshot of footprint-cache detail (valid when present). */
+    bool hasFootprint = false;
+    std::uint64_t covered = 0;
+    std::uint64_t underpred = 0;
+    std::uint64_t overpred = 0;
+    std::uint64_t trigMisses = 0;
+    std::uint64_t singletonBypasses = 0;
+    std::vector<std::uint64_t> densityBuckets;
+    std::uint64_t densityPages = 0;
+
+    /**
+     * Named scalars from custom run functions (e.g. fig12's ideal
+     * cache sizes); emitted verbatim into the JSON report.
+     */
+    std::vector<std::pair<std::string, double>> extra;
+};
+
+/**
+ * One independent unit of sweep work: a fully-specified
+ * experiment configuration plus the windows to run it over.
+ */
+struct ExperimentPoint
+{
+    /** Registry name of the owning experiment ("fig06", ...). */
+    std::string experiment;
+
+    /**
+     * Axis label, unique within the experiment
+     * ("WebSearch/footprint/256MB/2048B"). standardLabel() builds
+     * it for grid points; irregular points set it directly.
+     */
+    std::string label;
+
+    WorkloadKind workload = WorkloadKind::WebSearch;
+    Experiment::Config cfg;
+    double scale = 0.4;
+
+    /** User base seed (mixed into traceSeed()). */
+    std::uint64_t baseSeed = 42;
+
+    /**
+     * Custom run function; when set it replaces the standard
+     * warmup+measure loop (fig12's access-counting pod run).
+     */
+    std::function<PointResult(const ExperimentPoint &)> custom;
+
+    /** Globally unique key: "<experiment>/<label>". */
+    std::string key() const;
+
+    /**
+     * Workload RNG seed: a hash of the trace-relevant identity
+     * (workload name, page size, base seed). Independent of
+     * organization, capacity, registry order and thread schedule.
+     */
+    std::uint64_t traceSeed() const;
+};
+
+/**
+ * Canonical label for a grid point: workload/design/capacity/page
+ * size, plus suffixes for every non-default knob so labels stay
+ * unique across ablation variants.
+ */
+std::string standardLabel(WorkloadKind wk,
+                          const Experiment::Config &cfg);
+
+/**
+ * Run one point: fresh workload + experiment, capacity-scaled
+ * warmup, measured window, footprint detail snapshot.
+ */
+PointResult runPoint(const ExperimentPoint &point);
+
+/**
+ * A rectangular slice of the evaluation grid. expand() emits the
+ * full cross product in a fixed nested order (workload outermost,
+ * then capacity, design, page size, FHT size) so reporters can
+ * index results positionally.
+ */
+struct SweepSpec
+{
+    std::string experiment;
+    std::vector<WorkloadKind> workloads;
+    std::vector<DesignKind> designs = {DesignKind::Footprint};
+    std::vector<std::uint64_t> capacitiesMb = {256};
+    std::vector<unsigned> pageBytes = {2048};
+    std::vector<std::uint32_t> fhtEntries = {16 * 1024};
+    double scale = 0.4;
+    std::uint64_t seed = 42;
+
+    /** Base config copied into every point before axis overrides. */
+    Experiment::Config base;
+
+    std::vector<ExperimentPoint> expand() const;
+};
+
+/**
+ * Shards a batch of points across a std::thread pool. Results go
+ * into a pre-sized vector indexed by point position — workers
+ * never share a slot, so collection is lock-free; work
+ * distribution is a single atomic counter.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads (0 = hardware concurrency). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Run all points; result i corresponds to points[i]. */
+    std::vector<PointResult>
+    run(const std::vector<ExperimentPoint> &points) const;
+
+    unsigned jobs() const { return jobs_; }
+
+  private:
+    unsigned jobs_;
+};
+
+/** One experiment's expanded points and collected results. */
+struct ExperimentRun
+{
+    std::string name;
+    std::string title;
+    std::vector<ExperimentPoint> points;
+    std::vector<PointResult> results;
+};
+
+/**
+ * Render the merged sweep report (BENCH_*-shaped JSON: top-level
+ * "bench"/"scale"/"seed" keys, one entry per experiment under
+ * "experiments", one object per point with config + metrics).
+ */
+std::string renderSweepJson(const SweepOptions &options,
+                            const std::vector<ExperimentRun> &runs);
+
+/**
+ * True when @p json contains an entry for experiment @p name —
+ * the completeness check CI's sweep-smoke job relies on.
+ */
+bool sweepJsonHasExperiment(const std::string &json,
+                            const std::string &name);
+
+} // namespace fpc
+
+#endif // FPC_SIM_SWEEP_HH
