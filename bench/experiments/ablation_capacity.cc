@@ -37,7 +37,7 @@ registerAblationCapacity(ExperimentRegistry &reg)
                     ExperimentPoint p;
                     p.experiment = "ablation_capacity";
                     p.workload = wk;
-                    p.cfg.design = DesignKind::Footprint;
+                    p.cfg.design = "footprint";
                     p.cfg.capacityMb = mb;
                     p.cfg.singletonOptimization = enabled;
                     p.scale = opts.scale;

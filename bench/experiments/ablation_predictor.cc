@@ -58,7 +58,7 @@ registerAblationPredictor(ExperimentRegistry &reg)
                 ExperimentPoint p;
                 p.experiment = "ablation_predictor";
                 p.workload = wk;
-                p.cfg.design = DesignKind::Footprint;
+                p.cfg.design = "footprint";
                 p.cfg.capacityMb = 256;
                 p.cfg.footprintFetch = v.fetch;
                 p.cfg.predictorIndex = v.index;

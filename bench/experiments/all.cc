@@ -21,6 +21,7 @@ registerAllExperiments(ExperimentRegistry &reg)
     registerTable4(reg);
     registerAblationCapacity(reg);
     registerAblationPredictor(reg);
+    registerFrontier(reg);
 }
 
 } // namespace fpcbench

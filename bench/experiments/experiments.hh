@@ -32,6 +32,7 @@ void registerTable1(ExperimentRegistry &reg);
 void registerTable4(ExperimentRegistry &reg);
 void registerAblationCapacity(ExperimentRegistry &reg);
 void registerAblationPredictor(ExperimentRegistry &reg);
+void registerFrontier(ExperimentRegistry &reg);
 
 /** Register every paper experiment, in presentation order. */
 void registerAllExperiments(ExperimentRegistry &reg);

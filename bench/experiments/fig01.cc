@@ -30,14 +30,14 @@ registerFig01(ExperimentRegistry &reg)
             ExperimentPoint base;
             base.experiment = "fig01";
             base.workload = wk;
-            base.cfg.design = DesignKind::Baseline;
+            base.cfg.design = "baseline";
             base.scale = opts.scale;
             base.baseSeed = opts.seed;
             base.label = standardLabel(wk, base.cfg);
             points.push_back(base);
 
             ExperimentPoint hb = base;
-            hb.cfg.design = DesignKind::Ideal;
+            hb.cfg.design = "ideal";
             hb.cfg.stackedChannels = 2;
             hb.label = standardLabel(wk, hb.cfg);
             points.push_back(hb);

@@ -53,7 +53,7 @@ registerFig04(ExperimentRegistry &reg)
         SweepSpec spec;
         spec.experiment = "fig04";
         spec.workloads = opts.workloads();
-        spec.designs = {DesignKind::Page};
+        spec.designs = {"page"};
         spec.capacitiesMb = kPaperCapacities;
         spec.scale = opts.scale;
         spec.seed = opts.seed;

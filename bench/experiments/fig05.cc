@@ -17,9 +17,9 @@ namespace fpcbench {
 
 namespace {
 
-const DesignKind kDesigns[] = {DesignKind::Page,
-                               DesignKind::Footprint,
-                               DesignKind::Block};
+const char *kDesigns[] = {"page",
+                               "footprint",
+                               "block"};
 
 } // namespace
 
@@ -38,13 +38,13 @@ registerFig05(ExperimentRegistry &reg)
             ExperimentPoint base;
             base.experiment = "fig05";
             base.workload = wk;
-            base.cfg.design = DesignKind::Baseline;
+            base.cfg.design = "baseline";
             base.scale = opts.scale;
             base.baseSeed = opts.seed;
             base.label = standardLabel(wk, base.cfg);
             points.push_back(base);
             for (std::uint64_t mb : kPaperCapacities) {
-                for (DesignKind d : kDesigns) {
+                for (const char *d : kDesigns) {
                     ExperimentPoint p = base;
                     p.cfg.design = d;
                     p.cfg.capacityMb = mb;

@@ -17,10 +17,10 @@ namespace fpcbench {
 
 namespace {
 
-const DesignKind kDesigns[] = {DesignKind::Block,
-                               DesignKind::Page,
-                               DesignKind::Footprint,
-                               DesignKind::Ideal};
+const char *kDesigns[] = {"block",
+                               "page",
+                               "footprint",
+                               "ideal"};
 
 } // namespace
 
@@ -37,13 +37,13 @@ registerFig07(ExperimentRegistry &reg)
         ExperimentPoint base;
         base.experiment = "fig07";
         base.workload = wk;
-        base.cfg.design = DesignKind::Baseline;
+        base.cfg.design = "baseline";
         base.scale = opts.scale;
         base.baseSeed = opts.seed;
         base.label = standardLabel(wk, base.cfg);
         points.push_back(base);
         for (std::uint64_t mb : kPaperCapacities) {
-            for (DesignKind d : kDesigns) {
+            for (const char *d : kDesigns) {
                 ExperimentPoint p = base;
                 p.cfg.design = d;
                 p.cfg.capacityMb = mb;

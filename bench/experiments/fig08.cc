@@ -26,7 +26,7 @@ registerFig08(ExperimentRegistry &reg)
         SweepSpec spec;
         spec.experiment = "fig08";
         spec.workloads = opts.workloads();
-        spec.designs = {DesignKind::Footprint};
+        spec.designs = {"footprint"};
         spec.capacitiesMb = {256};
         spec.pageBytes = {1024, 2048, 4096};
         spec.scale = opts.scale;

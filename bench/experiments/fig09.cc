@@ -32,7 +32,7 @@ registerFig09(ExperimentRegistry &reg)
         SweepSpec spec;
         spec.experiment = "fig09";
         spec.workloads = opts.workloads();
-        spec.designs = {DesignKind::Footprint};
+        spec.designs = {"footprint"};
         spec.capacitiesMb = {256};
         spec.fhtEntries = kFhtSizes;
         spec.scale = opts.scale;

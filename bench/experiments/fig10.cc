@@ -19,9 +19,9 @@ namespace fpcbench {
 
 namespace {
 
-const std::vector<DesignKind> kDesigns = {
-    DesignKind::Baseline, DesignKind::Block, DesignKind::Page,
-    DesignKind::Footprint};
+const std::vector<std::string> kDesigns = {
+    "baseline", "block", "page",
+    "footprint"};
 
 } // namespace
 
@@ -69,14 +69,14 @@ registerFig10(ExperimentRegistry &reg)
                     "  %-16s %-10s %8.1f%% %8.1f%% %8.1f%%\n",
                     d == 0 ? workloadName(points[o].workload)
                            : "",
-                    designName(kDesigns[d]), 100.0 * act,
+                    kDesigns[d].c_str(), 100.0 * act,
                     100.0 * burst, 100.0 * (act + burst));
             }
         }
         if (totals[0].size() > 1) {
             std::printf("  %-16s", "Geomean");
             for (std::size_t d = 0; d < stride; ++d)
-                std::printf(" %s=%.1f%%", designName(kDesigns[d]),
+                std::printf(" %s=%.1f%%", kDesigns[d].c_str(),
                             100.0 * geomean(totals[d]));
             std::printf("\n");
         }

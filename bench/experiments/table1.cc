@@ -25,8 +25,8 @@ registerTable1(ExperimentRegistry &reg)
         SweepSpec spec;
         spec.experiment = "table1";
         spec.workloads = {WorkloadKind::WebSearch};
-        spec.designs = {DesignKind::Block, DesignKind::Page,
-                        DesignKind::Footprint};
+        spec.designs = {"block", "page",
+                        "footprint"};
         spec.capacitiesMb = {256};
         spec.scale = opts.scale;
         spec.seed = opts.seed;

@@ -96,10 +96,10 @@ registerTable4(ExperimentRegistry &reg)
                 "(%.2f)\n",
                 (unsigned long long)sizes[i], fp,
                 (unsigned long long)tagLatencyCycles(
-                    DesignKind::Footprint, sizes[i]),
+                    "footprint", sizes[i]),
                 paper_fp[i], pg,
                 (unsigned long long)tagLatencyCycles(
-                    DesignKind::Page, sizes[i]),
+                    "page", sizes[i]),
                 paper_pg[i], mmb,
                 (unsigned long long)missMapLatencyCycles(
                     sizes[i]),

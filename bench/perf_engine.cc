@@ -110,7 +110,7 @@ engineModeName(EngineMode mode)
 }
 
 PhaseTimes
-runPhased(WorkloadKind wk, DesignKind design, EngineMode mode,
+runPhased(WorkloadKind wk, const std::string &design, EngineMode mode,
           double scale, std::uint64_t seed,
           std::uint64_t capacity_mb)
 {
@@ -127,7 +127,7 @@ runPhased(WorkloadKind wk, DesignKind design, EngineMode mode,
     Experiment exp(cfg, trace);
 
     PhaseTimes out;
-    out.warmupRecords = design == DesignKind::Baseline
+    out.warmupRecords = design == "baseline"
                             ? warmupRecords(64, scale)
                             : warmupRecords(capacity_mb, scale);
     // Warmup-dominated by design: the measurement window only has
@@ -226,9 +226,9 @@ main(int argc, char **argv)
         reference_seconds = 0.0;
     }
 
-    const DesignKind designs[] = {
-        DesignKind::Baseline, DesignKind::Block, DesignKind::Page,
-        DesignKind::Footprint, DesignKind::Ideal};
+    const char *designs[] = {
+        "baseline", "block", "page",
+        "footprint", "ideal"};
 
     std::printf("\n=== two-phase engine performance ===\n");
     std::printf("workload %s, %lluMB, scale %.2f, seed %llu\n",
@@ -262,7 +262,7 @@ main(int argc, char **argv)
     double footprint_seconds = 0.0;
     bool first_design = true;
 
-    for (DesignKind d : designs) {
+    for (const char *d : designs) {
         PhaseTimes res[3];
         for (EngineMode mode :
              {EngineMode::Functional, EngineMode::Timed,
@@ -281,13 +281,13 @@ main(int argc, char **argv)
             func.totalSeconds() > 0.0
                 ? legacy.totalSeconds() / func.totalSeconds()
                 : 0.0;
-        if (d == DesignKind::Footprint) {
+        if (!std::strcmp(d, "footprint")) {
             footprint_speedup = speedup;
             footprint_seconds = func.totalSeconds();
         }
 
         std::printf("  %-10s %14.0f %14.0f %14.0f %8.2fx %6s\n",
-                    designName(d), func.warmupRecsPerSec(),
+                    d, func.warmupRecsPerSec(),
                     timed.warmupRecsPerSec(),
                     legacy.warmupRecsPerSec(), speedup,
                     identical ? "yes" : "NO");
@@ -295,7 +295,7 @@ main(int argc, char **argv)
         if (!first_design)
             std::fprintf(json, ",\n");
         first_design = false;
-        std::fprintf(json, "    \"%s\": {\n", designName(d));
+        std::fprintf(json, "    \"%s\": {\n", d);
         for (EngineMode mode :
              {EngineMode::Functional, EngineMode::Timed,
               EngineMode::AllTimed}) {

@@ -41,6 +41,75 @@ usage(const char *argv0)
                  static_cast<int>(std::strlen(argv0)), "");
 }
 
+/** Append @p value to @p values if not already present. */
+template <typename T>
+void
+noteAxisValue(std::vector<T> &values, const T &value)
+{
+    for (const T &v : values) {
+        if (v == value)
+            return;
+    }
+    values.push_back(value);
+}
+
+/** Join axis values with commas, e.g. "64,128,256,512MB". */
+template <typename T, typename Fmt>
+std::string
+joinAxis(const std::vector<T> &values, Fmt &&fmt)
+{
+    std::string out;
+    for (const T &v : values) {
+        if (!out.empty())
+            out += ",";
+        out += fmt(v);
+    }
+    return out;
+}
+
+/**
+ * One experiment's listing line: name, point count and the axis
+ * values its builder expands to, so users can size a run before
+ * launching it. Tab-separated with the name first (CI parses
+ * that field).
+ */
+void
+printListing(const fpc::ExperimentDef &def,
+             const SweepOptions &opts)
+{
+    const std::vector<ExperimentPoint> points = def.build(opts);
+    std::vector<std::string> workloads, designs;
+    std::vector<std::uint64_t> caps;
+    std::vector<unsigned> pages;
+    for (const ExperimentPoint &p : points) {
+        noteAxisValue(workloads,
+                      std::string(workloadName(p.workload)));
+        noteAxisValue(designs, p.cfg.design);
+        noteAxisValue(caps, p.cfg.capacityMb);
+        noteAxisValue(pages, p.cfg.pageBytes);
+    }
+    std::printf("%s\t%3zu pts", def.name.c_str(), points.size());
+    if (!points.empty()) {
+        std::printf(
+            "\t%zu workload(s) designs=%s caps=%sMB pages=%sB",
+            workloads.size(),
+            joinAxis(designs,
+                     [](const std::string &d) { return d; })
+                .c_str(),
+            joinAxis(caps,
+                     [](std::uint64_t mb) {
+                         return std::to_string(mb);
+                     })
+                .c_str(),
+            joinAxis(pages,
+                     [](unsigned pb) {
+                         return std::to_string(pb);
+                     })
+                .c_str());
+    }
+    std::printf("\t%s\n", def.title.c_str());
+}
+
 /** Comma-separated substring match against an experiment name. */
 bool
 matchesFilter(const std::string &name, const std::string &filter)
@@ -98,8 +167,7 @@ main(int argc, char **argv)
 
     if (list) {
         for (const ExperimentDef &def : reg.all())
-            std::printf("%s\t%s\n", def.name.c_str(),
-                        def.title.c_str());
+            printListing(def, opts);
         return 0;
     }
 

@@ -1,7 +1,8 @@
 /**
  * @file
- * Design comparison: run one workload through all five memory
- * organizations at one capacity and print a side-by-side report —
+ * Design comparison: run one workload through every registered
+ * memory organization at one capacity and print a side-by-side
+ * report —
  * the experiment a system architect would run first when
  * evaluating a die-stacked cache for a new workload.
  *
@@ -51,10 +52,12 @@ main(int argc, char **argv)
                 "IPC", "miss%", "offGB/s", "stkGB/s", "offnJ/I",
                 "stknJ/I");
 
+    // Every organization the registry knows, in registration
+    // order — a design added in src/dramcache/ shows up here
+    // (and in every sweep grid) with no further wiring.
     double base_ipc = 0.0;
-    for (DesignKind d :
-         {DesignKind::Baseline, DesignKind::Block, DesignKind::Page,
-          DesignKind::Footprint, DesignKind::Ideal}) {
+    for (const std::string &d :
+         DesignRegistry::instance().names()) {
         WorkloadSpec spec = makeWorkload(wk);
         SyntheticTraceSource trace(spec);
         Experiment::Config cfg;
@@ -62,18 +65,18 @@ main(int argc, char **argv)
         cfg.capacityMb = capacity_mb;
         Experiment exp(cfg, trace);
         RunMetrics m = exp.run(records / 2, records / 2);
-        if (d == DesignKind::Baseline)
+        if (d == "baseline")
             base_ipc = m.ipc();
         std::printf("%-10s %8.3f %7.1f%% %10.2f %10.2f %10.3f "
                     "%10.3f",
-                    designName(d), m.ipc(),
+                    d.c_str(), m.ipc(),
                     100.0 * m.missRatio(),
                     m.offchipBandwidthGBps(),
                     static_cast<double>(m.stackedBytes) /
                         (m.cycles / 3.0),
                     m.offchipEnergyPerInstr(),
                     m.stackedEnergyPerInstr());
-        if (d != DesignKind::Baseline && base_ipc > 0.0) {
+        if (d != "baseline" && base_ipc > 0.0) {
             std::printf("   (%+.1f%% vs baseline)",
                         100.0 * (m.ipc() / base_ipc - 1.0));
         }

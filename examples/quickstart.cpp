@@ -28,7 +28,7 @@ main(int argc, char **argv)
     SyntheticTraceSource trace(spec);
 
     Experiment::Config cfg;
-    cfg.design = DesignKind::Footprint;
+    cfg.design = "footprint";
     cfg.capacityMb = 256;
 
     // 2. Build the fully-wired pod (cores, L1/L2, footprint

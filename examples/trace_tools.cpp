@@ -55,7 +55,7 @@ main(int argc, char **argv)
     // 2. Replay through a 128MB Footprint Cache pod.
     TraceFileReader reader(path);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Footprint;
+    cfg.design = "footprint";
     cfg.capacityMb = 128;
     Experiment exp(cfg, reader);
     RunMetrics m = exp.run(records / 2, records / 2);

@@ -42,6 +42,13 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 "$BUILD_DIR"/perf_engine --quick --out "$BUILD_DIR"/BENCH_engine_quick.json
+# Bench-regression guard against the committed quick-scale
+# baseline (relative mode: machine-speed independent). One local
+# run; CI reduces three repeats to a per-design minimum.
+python3 scripts/check_bench_regression.py \
+    --baseline BENCH_engine_quick.json \
+    --current "$BUILD_DIR"/BENCH_engine_quick.json \
+    --tolerance 0.15 --relative
 # A cheap sweep slice; CI's sweep-smoke job runs the full grid.
 "$BUILD_DIR"/sweep --quick --jobs "$JOBS" --filter fig12,table1,table4 \
     --out "$BUILD_DIR"/BENCH_sweep_quick.json

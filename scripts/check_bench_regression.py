@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Guard against engine performance regressions.
+
+Compares a fresh perf_engine run (typically --quick) against the
+committed BENCH_engine.json and fails when ns/record regresses
+beyond the tolerance. The metric is the two-phase (functional)
+engine's combined warmup+measure ns/record, per design.
+
+In --relative mode each design's ns/record is first normalized to
+the 'baseline' design's ns/record *from the same file*, which
+cancels machine speed: CI runners are not the machine that
+produced the committed baseline, so only relative regressions
+(one design getting slower than the others) are meaningful there.
+Absolute mode is for same-machine comparisons (scripts/check.sh
+on the machine that committed the baseline).
+
+Pass several --current files (repeats of the same quick run) to
+compare against the per-design *minimum* ns/record: the minimum
+is robust to scheduler noise spikes, which on shared CI vCPUs
+dwarf real regressions in any single short run.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_engine.json \
+      --current quick1.json [quick2.json ...] \
+      [--tolerance 0.15] [--relative]
+"""
+
+import argparse
+import json
+import sys
+
+
+def ns_per_record(design_entry):
+    f = design_entry["functional"]
+    records = f["warmup_records"] + f["measure_records"]
+    seconds = f["warmup_seconds"] + f["measure_seconds"]
+    if records <= 0:
+        return 0.0
+    return 1e9 * seconds / records
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True, nargs="+")
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument("--relative", action="store_true")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    currents = []
+    for path in args.current:
+        with open(path) as f:
+            currents.append(json.load(f))
+
+    # Mixed scales are not comparable: the design-vs-baseline
+    # ratios shift systematically with the window scale, which
+    # would silently miscalibrate the tolerance.
+    for path, c in zip(args.current, currents):
+        if c.get("scale") != base.get("scale"):
+            print(f"scale mismatch: baseline {args.baseline} is "
+                  f"scale {base.get('scale')}, {path} is scale "
+                  f"{c.get('scale')} — compare like with like "
+                  f"(the committed quick-scale baseline is "
+                  f"BENCH_engine_quick.json)")
+            return 1
+
+    base_designs = base["designs"]
+    common = [d for d in base_designs
+              if all(d in c["designs"] for c in currents)]
+    if not common:
+        print("no common designs between baseline and current")
+        return 1
+
+    def metric(designs, name):
+        ns = ns_per_record(designs[name])
+        if args.relative:
+            # Normalize within one run: both numbers saw the same
+            # machine conditions, so the ratio is coherent.
+            ref = ns_per_record(designs["baseline"])
+            return ns / ref if ref > 0 else 0.0
+        return ns
+
+    def cur_metric(name):
+        # Minimum over the repeat runs (computed per run, so a
+        # noise spike in one run cannot skew another's ratio).
+        return min(metric(c["designs"], name) for c in currents)
+
+    if args.relative and "baseline" not in common:
+        print("--relative needs the 'baseline' design in both files")
+        return 1
+
+    unit = "x baseline" if args.relative else "ns/record"
+    print(f"engine regression guard ({unit}, "
+          f"tolerance {100 * args.tolerance:.0f}%)")
+    print(f"  {'design':<12} {'committed':>10} {'current':>10} "
+          f"{'ratio':>7}")
+    failed = []
+    for name in common:
+        b = metric(base_designs, name)
+        c = cur_metric(name)
+        ratio = c / b if b > 0 else 0.0
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            failed.append(name)
+            flag = "  << REGRESSION"
+        print(f"  {name:<12} {b:>10.2f} {c:>10.2f} "
+              f"{ratio:>6.2f}x{flag}")
+
+    if failed:
+        print(f"FAIL: ns/record regressed >"
+              f"{100 * args.tolerance:.0f}% for: "
+              f"{', '.join(failed)}")
+        return 1
+    print("OK: no design regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,7 +83,22 @@ TraceFileReader::refill(unsigned core_id)
     // Read ahead until a record for core_id shows up or EOF.
     while (!eof_) {
         TraceFileRecord raw;
-        if (std::fread(&raw, sizeof(raw), 1, file_) != 1) {
+        const std::size_t got =
+            std::fread(&raw, 1, sizeof(raw), file_);
+        if (got != sizeof(raw)) {
+            // Only a clean record boundary is end-of-stream; a
+            // partial record or a stream error means the file is
+            // corrupt or unreadable, which must not be mistaken
+            // for a (shorter) valid trace.
+            if (std::ferror(file_)) {
+                fatal("trace file %s: read error",
+                      path_.c_str());
+            }
+            if (got != 0) {
+                fatal("trace file %s: truncated record (%zu of "
+                      "%zu bytes)",
+                      path_.c_str(), got, sizeof(raw));
+            }
             eof_ = true;
             break;
         }
@@ -117,6 +132,7 @@ TraceFileReader::next(unsigned core_id, TraceRecord &out)
 void
 TraceFileReader::reset()
 {
+    std::clearerr(file_);
     std::rewind(file_);
     eof_ = false;
     for (auto &q : pending_)

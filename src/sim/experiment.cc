@@ -1,153 +1,37 @@
 #include "sim/experiment.hh"
 
-#include "common/logging.hh"
-
 namespace fpc {
-
-const char *
-designName(DesignKind kind)
-{
-    switch (kind) {
-      case DesignKind::Baseline:
-        return "baseline";
-      case DesignKind::Block:
-        return "block";
-      case DesignKind::Page:
-        return "page";
-      case DesignKind::Footprint:
-        return "footprint";
-      case DesignKind::Ideal:
-        return "ideal";
-    }
-    panic("bad design kind");
-}
-
-Cycle
-tagLatencyCycles(DesignKind kind, std::uint64_t capacity_mb)
-{
-    // Table 4. Unlisted capacities interpolate conservatively.
-    if (kind == DesignKind::Footprint) {
-        if (capacity_mb <= 64)
-            return 4;
-        if (capacity_mb <= 128)
-            return 6;
-        if (capacity_mb <= 256)
-            return 9;
-        return 11;
-    }
-    if (kind == DesignKind::Page) {
-        if (capacity_mb <= 64)
-            return 4;
-        if (capacity_mb <= 128)
-            return 5;
-        if (capacity_mb <= 256)
-            return 6;
-        return 9;
-    }
-    return 0;
-}
-
-MissMap::Config
-missMapConfig(std::uint64_t capacity_mb)
-{
-    MissMap::Config cfg;
-    if (capacity_mb >= 512) {
-        // §5.2: MissMap grown by 50% for 512MB caches.
-        cfg.entries = 288 * 1024;
-        cfg.assoc = 36;
-    } else {
-        cfg.entries = 192 * 1024;
-        cfg.assoc = 24;
-    }
-    cfg.segmentBytes = 4096;
-    return cfg;
-}
-
-Cycle
-missMapLatencyCycles(std::uint64_t capacity_mb)
-{
-    return capacity_mb >= 512 ? 11 : 9;
-}
 
 Experiment::Experiment(const Config &config, TraceSource &trace)
     : config_(config)
 {
-    const std::uint64_t capacity_bytes = config_.capacityMb << 20;
-    const bool block_design = config_.design == DesignKind::Block;
+    const DesignDef &def =
+        DesignRegistry::instance().at(config_.design);
 
-    // §5.2: the block-based design's stacked DRAM uses close-page
-    // policy and 64B channel interleaving (sets scatter across
-    // rows); the page-organized designs use open-page policy and
-    // page (2KB) interleaving. Row-buffer policies are chosen per
-    // system for optimal performance (§5.2): off-chip stays
-    // open-page, which is optimal for every design under our
-    // post-cache traffic.
+    // Row-buffer policies are chosen per system for optimal
+    // performance (§5.2): off-chip stays open-page, which is
+    // optimal for every design under our post-cache traffic; the
+    // stacked DRAM defaults to open-page with page (2KB)
+    // interleaving, and each design overrides what it needs
+    // (e.g. block/alloy switch to close-page + 64B interleave).
     DramSystem::Config off_cfg = DramSystem::Config::offchipPod();
     DramSystem::Config stk_cfg = DramSystem::Config::stackedPod();
-    if (block_design) {
-        stk_cfg.timing.policy = PagePolicy::Closed;
-        stk_cfg.interleaveBytes = kBlockBytes;
-    } else {
-        stk_cfg.interleaveBytes = config_.pageBytes;
-    }
+    stk_cfg.interleaveBytes = config_.pageBytes;
+    if (def.configureStacked)
+        def.configureStacked(config_, stk_cfg);
     if (config_.stackedChannels > 0)
         stk_cfg.numChannels = config_.stackedChannels;
     if (config_.stackedLowLatency)
         stk_cfg.timing = stk_cfg.timing.halvedLatency();
 
     offchip_ = std::make_unique<DramSystem>(off_cfg);
-    if (config_.design != DesignKind::Baseline)
+    if (def.usesStackedDram)
         stacked_ = std::make_unique<DramSystem>(stk_cfg);
 
-    switch (config_.design) {
-      case DesignKind::Baseline:
-        baseline_ = std::make_unique<NoCacheMemory>(*offchip_);
-        memory_ = baseline_.get();
-        break;
-      case DesignKind::Ideal:
-        ideal_ = std::make_unique<IdealCache>(*stacked_,
-                                              capacity_bytes);
-        memory_ = ideal_.get();
-        break;
-      case DesignKind::Block: {
-        BlockCache::Config cfg;
-        cfg.capacityBytes = capacity_bytes;
-        cfg.missMap = missMapConfig(config_.capacityMb);
-        cfg.missMapLatencyCycles =
-            missMapLatencyCycles(config_.capacityMb);
-        block_ = std::make_unique<BlockCache>(cfg, *stacked_,
-                                              *offchip_);
-        memory_ = block_.get();
-        break;
-      }
-      case DesignKind::Page:
-      case DesignKind::Footprint: {
-        FootprintCache::Config cfg;
-        cfg.tags.capacityBytes = capacity_bytes;
-        cfg.tags.pageBytes = config_.pageBytes;
-        cfg.fht.entries = config_.fhtEntries;
-        cfg.fht.index = config_.predictorIndex;
-        cfg.fht.train = config_.fhtTrain;
-        cfg.tagLatencyCycles =
-            tagLatencyCycles(config_.design, config_.capacityMb);
-        if (config_.design == DesignKind::Page) {
-            cfg.fetch = FetchPolicy::FullPage;
-            cfg.singletonOptimization = false;
-            cfg.name = "page";
-        } else {
-            cfg.fetch = config_.footprintFetch;
-            cfg.singletonOptimization =
-                config_.singletonOptimization;
-            cfg.name = "footprint";
-        }
-        fpc_ = std::make_unique<FootprintCache>(cfg, *stacked_,
-                                                *offchip_);
-        memory_ = fpc_.get();
-        break;
-      }
-    }
+    instance_ = def.build(config_, stacked_.get(), *offchip_);
 
-    pod_ = std::make_unique<PodSystem>(config_.pod, trace, *memory_,
+    pod_ = std::make_unique<PodSystem>(config_.pod, trace,
+                                       *instance_.memory,
                                        stacked_.get(), *offchip_);
 }
 

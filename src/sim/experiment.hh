@@ -1,9 +1,9 @@
 /**
  * @file
- * Experiment harness: builds the paper's evaluated configurations
- * (Tables 3 and 4) — design kind × cache capacity × workload —
- * wires DRAM systems, the memory organization and the pod, runs
- * the trace, and returns the measured metrics.
+ * Experiment harness: resolves a design name through the
+ * DesignRegistry, wires the DRAM systems and the organization's
+ * MemorySystem with the Table 3/4 parameters, builds the pod,
+ * runs the trace, and returns the measured metrics.
  */
 
 #ifndef FPC_SIM_EXPERIMENT_HH
@@ -14,49 +14,25 @@
 
 #include "dram/system.hh"
 #include "dramcache/block_cache.hh"
+#include "dramcache/design_registry.hh"
 #include "dramcache/footprint_cache.hh"
-#include "dramcache/simple_memories.hh"
 #include "mem/trace.hh"
 #include "sim/pod_system.hh"
 
 namespace fpc {
 
-/** The five memory-system organizations of the evaluation. */
-enum class DesignKind : std::uint8_t
-{
-    Baseline,
-    Block,
-    Page,
-    Footprint,
-    Ideal,
-};
-
-/** Printable name ("baseline", "block", ...). */
-const char *designName(DesignKind kind);
-
-/** Table 4 lookup: SRAM tag latency for page-organized designs. */
-Cycle tagLatencyCycles(DesignKind kind, std::uint64_t capacity_mb);
-
-/** Table 4 lookup: MissMap parameters per capacity. */
-MissMap::Config missMapConfig(std::uint64_t capacity_mb);
-
-/** Table 4 lookup: MissMap access latency. */
-Cycle missMapLatencyCycles(std::uint64_t capacity_mb);
-
 /** One fully-wired experiment instance. */
 class Experiment
 {
   public:
-    struct Config
+    /**
+     * The design-facing knobs (design name, capacity, page size,
+     * predictor options, per-design params) come from the
+     * DesignConfig base; the pod and DRAM-study overrides live
+     * here.
+     */
+    struct Config : DesignConfig
     {
-        DesignKind design = DesignKind::Footprint;
-        std::uint64_t capacityMb = 256;
-        unsigned pageBytes = 2048;
-        std::uint32_t fhtEntries = 16 * 1024;
-        bool singletonOptimization = true;
-        PredictorIndex predictorIndex = PredictorIndex::PcOffset;
-        FhtTrain fhtTrain = FhtTrain::Replace;
-        FetchPolicy footprintFetch = FetchPolicy::Predictor;
         PodConfig pod;
 
         /** Override stacked channel count (0 = default 4). */
@@ -66,6 +42,10 @@ class Experiment
         bool stackedLowLatency = false;
     };
 
+    /**
+     * @throws std::runtime_error when the design name is not in
+     * the DesignRegistry.
+     */
     Experiment(const Config &config, TraceSource &trace);
 
     /** Run with the given warmup/measurement windows. */
@@ -73,26 +53,25 @@ class Experiment
                    std::uint64_t measure_refs);
 
     /** The footprint/page cache, when the design has one. */
-    FootprintCache *footprintCache() { return fpc_.get(); }
+    FootprintCache *footprintCache()
+    {
+        return instance_.footprint;
+    }
 
     /** The block cache, when the design is block-based. */
-    BlockCache *blockCache() { return block_.get(); }
+    BlockCache *blockCache() { return instance_.block; }
 
     DramSystem *stacked() { return stacked_.get(); }
     DramSystem &offchip() { return *offchip_; }
     PodSystem &pod() { return *pod_; }
-    MemorySystem &memory() { return *memory_; }
+    MemorySystem &memory() { return *instance_.memory; }
     const Config &config() const { return config_; }
 
   private:
     Config config_;
     std::unique_ptr<DramSystem> stacked_;
     std::unique_ptr<DramSystem> offchip_;
-    std::unique_ptr<FootprintCache> fpc_;
-    std::unique_ptr<BlockCache> block_;
-    std::unique_ptr<NoCacheMemory> baseline_;
-    std::unique_ptr<IdealCache> ideal_;
-    MemorySystem *memory_ = nullptr;
+    DesignInstance instance_;
     std::unique_ptr<PodSystem> pod_;
 };
 

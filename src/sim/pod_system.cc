@@ -27,6 +27,7 @@ PodSystem::capture(Cycle now) const
     s.llcMisses = hierarchy_.l2Misses();
     s.demandAccesses = memory_.demandAccesses();
     s.demandHits = memory_.demandHits();
+    s.memLatency = total_mem_latency_;
     s.offchipBytes = offchip_.totalBytes();
     s.offchipActs = offchip_.totalActivates();
     s.offchipActPreNj = offchip_.totalActPreEnergyNj();
@@ -244,11 +245,14 @@ PodSystem::runMeasure(std::uint64_t measure_refs)
             ready_at = issue_at + config_.l1HitLatency +
                        config_.l2HitLatency;
         } else {
-            MemSystemResult res = memory_.access(
-                issue_at + config_.l1HitLatency +
-                    config_.l2HitLatency,
-                rec.req);
+            const Cycle mem_issue = issue_at +
+                                    config_.l1HitLatency +
+                                    config_.l2HitLatency;
+            MemSystemResult res =
+                memory_.access(mem_issue, rec.req);
             ready_at = res.doneAt;
+            if (res.doneAt > mem_issue)
+                total_mem_latency_ += res.doneAt - mem_issue;
             long_miss = true;
         }
         // Dirty evictions forced out of the L2 go to memory.
@@ -324,6 +328,7 @@ PodSystem::run(std::uint64_t warmup_refs,
     m.llcMisses = end.llcMisses - start.llcMisses;
     m.demandAccesses = end.demandAccesses - start.demandAccesses;
     m.demandHits = end.demandHits - start.demandHits;
+    m.memLatencyCycles = end.memLatency - start.memLatency;
     m.offchipBytes = end.offchipBytes - start.offchipBytes;
     m.stackedBytes = end.stackedBytes - start.stackedBytes;
     m.offchipActs = end.offchipActs - start.offchipActs;

@@ -1,8 +1,9 @@
 /**
  * @file
  * Timing simulation of one scale-out pod (Table 3): 16 cores with
- * private L1Ds, a shared L2, a below-L2 memory system (one of the
- * five organizations), stacked and off-chip DRAM channel models.
+ * private L1Ds, a shared L2, a below-L2 memory system (any
+ * DesignRegistry organization), stacked and off-chip DRAM channel
+ * models.
  *
  * The engine is two-phase. The warmup phase dispatches records to
  * cores round-robin through a lightweight loop with no event queue
@@ -94,6 +95,15 @@ struct RunMetrics
     std::uint64_t demandAccesses = 0;
     std::uint64_t demandHits = 0;
 
+    /**
+     * Summed memory-system latency of the measured window's
+     * demand accesses (issue at the memory system to critical
+     * block back at the L2), in cycles. Divided by
+     * demandAccesses this is the average DRAM-cache access
+     * latency the frontier experiment plots.
+     */
+    std::uint64_t memLatencyCycles = 0;
+
     std::uint64_t offchipBytes = 0;
     std::uint64_t stackedBytes = 0;
     std::uint64_t offchipActs = 0;
@@ -103,6 +113,16 @@ struct RunMetrics
     double offchipBurstNj = 0.0;
     double stackedActPreNj = 0.0;
     double stackedBurstNj = 0.0;
+
+    /** Average memory-system latency per demand access. */
+    double
+    avgAccessLatencyCycles() const
+    {
+        return demandAccesses
+                   ? static_cast<double>(memLatencyCycles) /
+                         demandAccesses
+                   : 0.0;
+    }
 
     /** Aggregate instructions per cycle (the paper's metric). */
     double
@@ -185,6 +205,7 @@ class PodSystem
         std::uint64_t llcMisses = 0;
         std::uint64_t demandAccesses = 0;
         std::uint64_t demandHits = 0;
+        std::uint64_t memLatency = 0;
         std::uint64_t offchipBytes = 0;
         std::uint64_t stackedBytes = 0;
         std::uint64_t offchipActs = 0;
@@ -216,6 +237,8 @@ class PodSystem
 
     std::uint64_t total_instructions_ = 0;
     std::uint64_t total_records_ = 0;
+    /** Summed demand-access latency (timing loop only). */
+    std::uint64_t total_mem_latency_ = 0;
 };
 
 } // namespace fpc

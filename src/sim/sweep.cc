@@ -152,7 +152,7 @@ standardLabel(WorkloadKind wk, const Experiment::Config &cfg)
     const Experiment::Config defaults;
     std::string label = workloadName(wk);
     label += "/";
-    label += designName(cfg.design);
+    label += cfg.design;
     label += "/" + std::to_string(cfg.capacityMb) + "MB";
     label += "/" + std::to_string(cfg.pageBytes) + "B";
     if (cfg.fhtEntries != defaults.fhtEntries)
@@ -174,6 +174,9 @@ standardLabel(WorkloadKind wk, const Experiment::Config &cfg)
             "/ch" + std::to_string(cfg.stackedChannels);
     if (cfg.stackedLowLatency)
         label += "/lowlat";
+    // Per-design params keep labels unique across variants.
+    for (const auto &[key, value] : cfg.params.entries())
+        label += "/" + key + "=" + value;
     return label;
 }
 
@@ -188,10 +191,15 @@ runPoint(const ExperimentPoint &point)
     SyntheticTraceSource trace(spec);
     Experiment exp(point.cfg, trace);
     PointResult out;
+    // Cacheless designs have no capacity-scaled structures to
+    // warm; give them the smallest window.
+    const DesignDef *def =
+        DesignRegistry::instance().find(point.cfg.design);
+    const bool cacheless = def && !def->usesStackedDram;
     const std::uint64_t warm =
-        point.cfg.design == DesignKind::Baseline
-            ? warmupRecords(64, point.scale)
-            : warmupRecords(point.cfg.capacityMb, point.scale);
+        cacheless ? warmupRecords(64, point.scale)
+                  : warmupRecords(point.cfg.capacityMb,
+                                  point.scale);
     out.metrics = exp.run(warm, measureRecords(point.scale));
     if (FootprintCache *fc = exp.footprintCache()) {
         fc->finalizeResidency();
@@ -215,7 +223,7 @@ SweepSpec::expand() const
     std::vector<ExperimentPoint> points;
     for (WorkloadKind wk : workloads) {
         for (std::uint64_t mb : capacitiesMb) {
-            for (DesignKind d : designs) {
+            for (const std::string &d : designs) {
                 for (unsigned pb : pageBytes) {
                     for (std::uint32_t fht : fhtEntries) {
                         ExperimentPoint p;
@@ -348,7 +356,7 @@ appendPoint(std::string &out, const ExperimentPoint &p,
               "         \"design\": \"%s\", \"capacity_mb\": "
               "%" PRIu64 ", \"page_bytes\": %u, "
               "\"seed\": %" PRIu64 ",\n",
-              designName(p.cfg.design), p.cfg.capacityMb,
+              p.cfg.design.c_str(), p.cfg.capacityMb,
               p.cfg.pageBytes, p.traceSeed());
     appendFmt(out,
               "         \"metrics\": {\"ipc\": %.6f, "
@@ -361,8 +369,10 @@ appendPoint(std::string &out, const ExperimentPoint &p,
     appendFmt(out,
               "                     \"llc_misses\": %" PRIu64
               ", \"demand_accesses\": %" PRIu64
-              ", \"demand_hits\": %" PRIu64 ",\n",
-              m.llcMisses, m.demandAccesses, m.demandHits);
+              ", \"demand_hits\": %" PRIu64
+              ", \"mem_latency_cycles\": %" PRIu64 ",\n",
+              m.llcMisses, m.demandAccesses, m.demandHits,
+              m.memLatencyCycles);
     appendFmt(out,
               "                     \"offchip_bytes\": %" PRIu64
               ", \"stacked_bytes\": %" PRIu64

@@ -191,7 +191,7 @@ struct SweepSpec
 {
     std::string experiment;
     std::vector<WorkloadKind> workloads;
-    std::vector<DesignKind> designs = {DesignKind::Footprint};
+    std::vector<std::string> designs = {"footprint"};
     std::vector<std::uint64_t> capacitiesMb = {256};
     std::vector<unsigned> pageBytes = {2048};
     std::vector<std::uint32_t> fhtEntries = {16 * 1024};

@@ -10,14 +10,14 @@ namespace {
 
 TEST(ExperimentConfig, Table4TagLatencies)
 {
-    EXPECT_EQ(tagLatencyCycles(DesignKind::Footprint, 64), 4u);
-    EXPECT_EQ(tagLatencyCycles(DesignKind::Footprint, 128), 6u);
-    EXPECT_EQ(tagLatencyCycles(DesignKind::Footprint, 256), 9u);
-    EXPECT_EQ(tagLatencyCycles(DesignKind::Footprint, 512), 11u);
-    EXPECT_EQ(tagLatencyCycles(DesignKind::Page, 64), 4u);
-    EXPECT_EQ(tagLatencyCycles(DesignKind::Page, 128), 5u);
-    EXPECT_EQ(tagLatencyCycles(DesignKind::Page, 256), 6u);
-    EXPECT_EQ(tagLatencyCycles(DesignKind::Page, 512), 9u);
+    EXPECT_EQ(tagLatencyCycles("footprint", 64), 4u);
+    EXPECT_EQ(tagLatencyCycles("footprint", 128), 6u);
+    EXPECT_EQ(tagLatencyCycles("footprint", 256), 9u);
+    EXPECT_EQ(tagLatencyCycles("footprint", 512), 11u);
+    EXPECT_EQ(tagLatencyCycles("page", 64), 4u);
+    EXPECT_EQ(tagLatencyCycles("page", 128), 5u);
+    EXPECT_EQ(tagLatencyCycles("page", 256), 6u);
+    EXPECT_EQ(tagLatencyCycles("page", 512), 9u);
 }
 
 TEST(ExperimentConfig, Table4MissMap)
@@ -31,20 +31,19 @@ TEST(ExperimentConfig, Table4MissMap)
     EXPECT_EQ(missMapLatencyCycles(512), 11u);
 }
 
-TEST(ExperimentConfig, DesignNames)
+TEST(ExperimentConfig, PaperDesignsRegistered)
 {
-    EXPECT_STREQ(designName(DesignKind::Baseline), "baseline");
-    EXPECT_STREQ(designName(DesignKind::Block), "block");
-    EXPECT_STREQ(designName(DesignKind::Page), "page");
-    EXPECT_STREQ(designName(DesignKind::Footprint), "footprint");
-    EXPECT_STREQ(designName(DesignKind::Ideal), "ideal");
+    const DesignRegistry &reg = DesignRegistry::instance();
+    for (const char *name :
+         {"baseline", "block", "page", "footprint", "ideal"})
+        EXPECT_NE(reg.find(name), nullptr) << name;
 }
 
 TEST(Experiment, BuildsEveryDesign)
 {
-    for (DesignKind d :
-         {DesignKind::Baseline, DesignKind::Block, DesignKind::Page,
-          DesignKind::Footprint, DesignKind::Ideal}) {
+    for (const char *d :
+         {"baseline", "block", "page",
+          "footprint", "ideal"}) {
         WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
         SyntheticTraceSource trace(spec);
         Experiment::Config cfg;
@@ -53,8 +52,8 @@ TEST(Experiment, BuildsEveryDesign)
         Experiment exp(cfg, trace);
         RunMetrics m = exp.run(0, 20'000);
         EXPECT_EQ(m.traceRecords, 20'000u)
-            << designName(d);
-        EXPECT_GT(m.ipc(), 0.0) << designName(d);
+            << d;
+        EXPECT_GT(m.ipc(), 0.0) << d;
     }
 }
 
@@ -63,7 +62,7 @@ TEST(Experiment, BaselineHasNoStackedTraffic)
     WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
     SyntheticTraceSource trace(spec);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Baseline;
+    cfg.design = "baseline";
     Experiment exp(cfg, trace);
     RunMetrics m = exp.run(0, 20'000);
     EXPECT_EQ(m.stackedBytes, 0u);
@@ -75,7 +74,7 @@ TEST(Experiment, IdealHasNoOffchipTraffic)
     WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
     SyntheticTraceSource trace(spec);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Ideal;
+    cfg.design = "ideal";
     Experiment exp(cfg, trace);
     RunMetrics m = exp.run(0, 20'000);
     EXPECT_EQ(m.offchipBytes, 0u);
@@ -88,7 +87,7 @@ TEST(Experiment, PageDesignUsesFullPagePolicy)
     WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
     SyntheticTraceSource trace(spec);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Page;
+    cfg.design = "page";
     Experiment exp(cfg, trace);
     ASSERT_NE(exp.footprintCache(), nullptr);
     EXPECT_EQ(exp.footprintCache()->config().fetch,
@@ -102,7 +101,7 @@ TEST(Experiment, StackedChannelOverride)
     WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
     SyntheticTraceSource trace(spec);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Ideal;
+    cfg.design = "ideal";
     cfg.stackedChannels = 2;
     Experiment exp(cfg, trace);
     EXPECT_EQ(exp.stacked()->numChannels(), 2u);
@@ -113,7 +112,7 @@ TEST(Experiment, LowLatencyHalvesStackedTimings)
     WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
     SyntheticTraceSource trace(spec);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Ideal;
+    cfg.design = "ideal";
     cfg.stackedLowLatency = true;
     Experiment exp(cfg, trace);
     DramTimingParams normal = DramTimingParams::ddr3_3200_stacked();
@@ -126,7 +125,7 @@ TEST(Experiment, BlockDesignUsesClosedStacked)
     WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
     SyntheticTraceSource trace(spec);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Block;
+    cfg.design = "block";
     Experiment exp(cfg, trace);
     EXPECT_EQ(exp.stacked()->config().timing.policy,
               PagePolicy::Closed);

@@ -11,7 +11,7 @@ namespace {
 /** Run one design on a small-capacity system, long enough for
  *  eviction/training dynamics to engage. */
 RunMetrics
-runDesign(DesignKind design, WorkloadKind wk = WorkloadKind::WebSearch,
+runDesign(const std::string &design, WorkloadKind wk = WorkloadKind::WebSearch,
           std::uint64_t capacity_mb = 16,
           std::uint64_t warm = 1'500'000,
           std::uint64_t meas = 500'000,
@@ -34,9 +34,9 @@ runDesign(DesignKind design, WorkloadKind wk = WorkloadKind::WebSearch,
 TEST(Integration, HitRatioOrderingPageFootprintBlock)
 {
     // §6.2: page <= footprint << block on miss ratio.
-    RunMetrics page = runDesign(DesignKind::Page);
-    RunMetrics fp = runDesign(DesignKind::Footprint);
-    RunMetrics block = runDesign(DesignKind::Block);
+    RunMetrics page = runDesign("page");
+    RunMetrics fp = runDesign("footprint");
+    RunMetrics block = runDesign("block");
     EXPECT_LT(page.missRatio(), block.missRatio());
     EXPECT_LT(fp.missRatio(), block.missRatio());
     // At this deliberately tiny capacity pages are evicted
@@ -49,9 +49,9 @@ TEST(Integration, TrafficOrderingBlockFootprintPage)
 {
     // §6.2: block <= footprint << page on off-chip traffic per
     // access.
-    RunMetrics page = runDesign(DesignKind::Page);
-    RunMetrics fp = runDesign(DesignKind::Footprint);
-    RunMetrics block = runDesign(DesignKind::Block);
+    RunMetrics page = runDesign("page");
+    RunMetrics fp = runDesign("footprint");
+    RunMetrics block = runDesign("block");
     auto per_access = [](const RunMetrics &m) {
         return static_cast<double>(m.offchipBytes) /
                static_cast<double>(m.demandAccesses);
@@ -63,8 +63,8 @@ TEST(Integration, TrafficOrderingBlockFootprintPage)
 TEST(Integration, FootprintCutsPageTrafficSubstantially)
 {
     // Headline: ~2.6x off-chip traffic reduction vs page-based.
-    RunMetrics page = runDesign(DesignKind::Page);
-    RunMetrics fp = runDesign(DesignKind::Footprint);
+    RunMetrics page = runDesign("page");
+    RunMetrics fp = runDesign("footprint");
     EXPECT_GT(static_cast<double>(page.offchipBytes) /
                   static_cast<double>(fp.offchipBytes),
               1.5);
@@ -72,12 +72,12 @@ TEST(Integration, FootprintCutsPageTrafficSubstantially)
 
 TEST(Integration, IdealBeatsEverything)
 {
-    RunMetrics ideal = runDesign(DesignKind::Ideal);
-    for (DesignKind d : {DesignKind::Baseline, DesignKind::Block,
-                         DesignKind::Page, DesignKind::Footprint}) {
+    RunMetrics ideal = runDesign("ideal");
+    for (const char *d : {"baseline", "block",
+                         "page", "footprint"}) {
         RunMetrics m = runDesign(d);
         EXPECT_GE(ideal.ipc(), m.ipc() * 0.99)
-            << designName(d);
+            << d;
     }
 }
 
@@ -85,10 +85,10 @@ TEST(Integration, FootprintBeatsBaseline)
 {
     // Needs a paper-scale capacity: tiny caches can lose to the
     // baseline (as the paper's 64MB page-based design does).
-    RunMetrics base = runDesign(DesignKind::Baseline,
+    RunMetrics base = runDesign("baseline",
                                 WorkloadKind::WebSearch, 64,
                                 1'000'000, 600'000);
-    RunMetrics fp = runDesign(DesignKind::Footprint,
+    RunMetrics fp = runDesign("footprint",
                               WorkloadKind::WebSearch, 64,
                               3'500'000, 600'000);
     EXPECT_GT(fp.ipc(), base.ipc());
@@ -97,10 +97,10 @@ TEST(Integration, FootprintBeatsBaseline)
 TEST(Integration, MissRatioFallsWithCapacity)
 {
     RunMetrics small =
-        runDesign(DesignKind::Footprint, WorkloadKind::WebSearch,
+        runDesign("footprint", WorkloadKind::WebSearch,
                   16, 1'500'000, 400'000);
     RunMetrics large =
-        runDesign(DesignKind::Footprint, WorkloadKind::WebSearch,
+        runDesign("footprint", WorkloadKind::WebSearch,
                   64, 3'000'000, 400'000);
     EXPECT_LE(large.missRatio(), small.missRatio() * 1.1);
 }
@@ -108,7 +108,7 @@ TEST(Integration, MissRatioFallsWithCapacity)
 TEST(Integration, PredictorCoverageIsHigh)
 {
     FootprintCache *cache = nullptr;
-    runDesign(DesignKind::Footprint, WorkloadKind::WebSearch, 16,
+    runDesign("footprint", WorkloadKind::WebSearch, 16,
               2'000'000, 500'000, &cache);
     ASSERT_NE(cache, nullptr);
     cache->finalizeResidency();
@@ -126,7 +126,7 @@ TEST(Integration, SingletonOptimizationReducesMisses)
     auto run_singleton = [&](bool enabled) {
         SyntheticTraceSource trace(spec);
         Experiment::Config cfg;
-        cfg.design = DesignKind::Footprint;
+        cfg.design = "footprint";
         cfg.capacityMb = 16;
         cfg.singletonOptimization = enabled;
         Experiment exp(cfg, trace);
@@ -140,7 +140,7 @@ TEST(Integration, SingletonOptimizationReducesMisses)
 
 TEST(Integration, EnergyBookkeepingConsistent)
 {
-    RunMetrics fp = runDesign(DesignKind::Footprint);
+    RunMetrics fp = runDesign("footprint");
     EXPECT_GT(fp.offchipActPreNj, 0.0);
     EXPECT_GT(fp.offchipBurstNj, 0.0);
     EXPECT_GT(fp.stackedActPreNj, 0.0);
@@ -152,8 +152,8 @@ TEST(Integration, CacheDesignsCutOffchipEnergy)
 {
     // §6.6: every DRAM cache reduces off-chip energy/instr vs the
     // baseline.
-    RunMetrics base = runDesign(DesignKind::Baseline);
-    RunMetrics fp = runDesign(DesignKind::Footprint);
+    RunMetrics base = runDesign("baseline");
+    RunMetrics fp = runDesign("footprint");
     EXPECT_LT(fp.offchipEnergyPerInstr(),
               base.offchipEnergyPerInstr());
 }
@@ -164,7 +164,7 @@ TEST(Integration, StackedBytesConservation)
     // written into the stacked DRAM (fills) — stacked write
     // traffic must be at least the fill traffic.
     FootprintCache *cache = nullptr;
-    RunMetrics m = runDesign(DesignKind::Footprint,
+    RunMetrics m = runDesign("footprint",
                              WorkloadKind::WebSearch, 16, 0,
                              500'000, &cache);
     ASSERT_NE(cache, nullptr);

@@ -102,7 +102,7 @@ TEST_P(PredictorModeSweep, RunsAndStaysConsistent)
     WorkloadSpec spec = makeWorkload(WorkloadKind::WebFrontend);
     SyntheticTraceSource trace(spec);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Footprint;
+    cfg.design = "footprint";
     cfg.capacityMb = 64;
     cfg.predictorIndex = GetParam();
     Experiment exp(cfg, trace);

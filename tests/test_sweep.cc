@@ -28,7 +28,7 @@ smallBatch()
     spec.experiment = "unit";
     spec.workloads = {WorkloadKind::WebSearch,
                       WorkloadKind::DataServing};
-    spec.designs = {DesignKind::Baseline, DesignKind::Footprint};
+    spec.designs = {"baseline", "footprint"};
     spec.capacitiesMb = {64};
     spec.scale = 0.02;
     return spec.expand();
@@ -46,6 +46,7 @@ expectMetricsIdentical(const PointResult &a, const PointResult &b,
     EXPECT_EQ(x.llcMisses, y.llcMisses) << key;
     EXPECT_EQ(x.demandAccesses, y.demandAccesses) << key;
     EXPECT_EQ(x.demandHits, y.demandHits) << key;
+    EXPECT_EQ(x.memLatencyCycles, y.memLatencyCycles) << key;
     EXPECT_EQ(x.offchipBytes, y.offchipBytes) << key;
     EXPECT_EQ(x.stackedBytes, y.stackedBytes) << key;
     EXPECT_EQ(x.offchipActs, y.offchipActs) << key;
@@ -64,7 +65,7 @@ TEST(SweepSpec, ExpandsFullCrossProduct)
     spec.experiment = "x";
     spec.workloads = {WorkloadKind::WebSearch,
                       WorkloadKind::MapReduce};
-    spec.designs = {DesignKind::Block, DesignKind::Footprint};
+    spec.designs = {"block", "footprint"};
     spec.capacitiesMb = {64, 256};
     spec.pageBytes = {1024, 2048};
     std::vector<ExperimentPoint> points = spec.expand();
@@ -81,17 +82,17 @@ TEST(SweepSpec, ExpandsFullCrossProduct)
     // then design, then page size.
     EXPECT_EQ(points[0].workload, WorkloadKind::WebSearch);
     EXPECT_EQ(points[0].cfg.capacityMb, 64u);
-    EXPECT_EQ(points[0].cfg.design, DesignKind::Block);
+    EXPECT_EQ(points[0].cfg.design, "block");
     EXPECT_EQ(points[0].cfg.pageBytes, 1024u);
     EXPECT_EQ(points[1].cfg.pageBytes, 2048u);
-    EXPECT_EQ(points[2].cfg.design, DesignKind::Footprint);
+    EXPECT_EQ(points[2].cfg.design, "footprint");
     EXPECT_EQ(points[8].workload, WorkloadKind::MapReduce);
 }
 
 TEST(SweepSpec, LabelsEncodeNonDefaultKnobs)
 {
     Experiment::Config cfg;
-    cfg.design = DesignKind::Footprint;
+    cfg.design = "footprint";
     cfg.capacityMb = 256;
     EXPECT_EQ(standardLabel(WorkloadKind::WebSearch, cfg),
               "WebSearch/footprint/256MB/2048B");
@@ -107,7 +108,7 @@ TEST(SweepSeed, DerivedFromTraceIdentityOnly)
     ExperimentPoint a;
     a.experiment = "fig05";
     a.workload = WorkloadKind::WebSearch;
-    a.cfg.design = DesignKind::Block;
+    a.cfg.design = "block";
     a.cfg.capacityMb = 64;
     a.label = standardLabel(a.workload, a.cfg);
 
@@ -115,7 +116,7 @@ TEST(SweepSeed, DerivedFromTraceIdentityOnly)
     // experiment: the same trace replays (paired comparison).
     ExperimentPoint b = a;
     b.experiment = "fig06";
-    b.cfg.design = DesignKind::Footprint;
+    b.cfg.design = "footprint";
     b.cfg.capacityMb = 512;
     b.label = standardLabel(b.workload, b.cfg);
     EXPECT_EQ(a.traceSeed(), b.traceSeed());
@@ -243,7 +244,7 @@ TEST(Registry, AllPaperExperimentsRegistered)
         "fig06",  "fig07",  "fig08",
         "fig09",  "fig10",  "fig11",
         "fig12",  "table1", "table4",
-        "ablation_capacity", "ablation_predictor"};
+        "ablation_capacity", "ablation_predictor", "frontier"};
     EXPECT_EQ(reg.names(), expected);
     for (const std::string &name : expected)
         EXPECT_NE(reg.find(name), nullptr) << name;

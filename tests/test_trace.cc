@@ -127,5 +127,48 @@ TEST(TraceFile, ResetRewinds)
     std::remove(path.c_str());
 }
 
+TEST(TraceFileDeath, MissingFileIsAnError)
+{
+    // A missing trace file must be a hard error, never a silent
+    // empty stream.
+    EXPECT_EXIT(TraceFileReader reader(::testing::TempDir() +
+                                       "no_such_trace.bin"),
+                ::testing::ExitedWithCode(1),
+                "cannot open trace file");
+}
+
+TEST(TraceFileDeath, TruncatedRecordIsAnError)
+{
+    const std::string path =
+        ::testing::TempDir() + "trace_trunc.bin";
+    {
+        TraceFileWriter w(path);
+        for (const auto &r : makeRecords(3))
+            w.append(r);
+    }
+    // Chop the last record short: 3 records minus 7 bytes.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[3 * sizeof(TraceFileRecord)];
+        ASSERT_EQ(std::fread(buf, 1, sizeof(buf), f),
+                  sizeof(buf));
+        std::fclose(f);
+        f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(buf, 1, sizeof(buf) - 7, f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(
+        {
+            TraceFileReader reader(path);
+            TraceRecord rec;
+            while (reader.next(0, rec)) {
+            }
+        },
+        ::testing::ExitedWithCode(1), "truncated record");
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace fpc

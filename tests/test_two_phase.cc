@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "dramcache/simple_memories.hh"
 #include "sim/experiment.hh"
 #include "workload/generator.hh"
 
@@ -36,7 +37,7 @@ struct PhaseResult
 };
 
 PhaseResult
-runWith(DesignKind design, SimMode warmup_mode,
+runWith(const std::string &design, SimMode warmup_mode,
         std::uint64_t capacity_mb, std::uint64_t warm,
         std::uint64_t meas,
         WorkloadKind wk = WorkloadKind::WebSearch)
@@ -104,10 +105,10 @@ expectIdentical(const PhaseResult &a, const PhaseResult &b)
 
 TEST(TwoPhase, FootprintWarmupModesBitIdentical)
 {
-    PhaseResult func = runWith(DesignKind::Footprint,
+    PhaseResult func = runWith("footprint",
                                SimMode::Functional, 16, 400'000,
                                200'000);
-    PhaseResult timed = runWith(DesignKind::Footprint,
+    PhaseResult timed = runWith("footprint",
                                 SimMode::Timed, 16, 400'000,
                                 200'000);
     expectIdentical(func, timed);
@@ -119,15 +120,15 @@ TEST(TwoPhase, FootprintWarmupModesBitIdentical)
 
 TEST(TwoPhase, EveryDesignWarmupModesBitIdentical)
 {
-    for (DesignKind d : {DesignKind::Baseline, DesignKind::Block,
-                         DesignKind::Page, DesignKind::Ideal}) {
+    for (const char *d : {"baseline", "block",
+                         "page", "ideal"}) {
         PhaseResult func = runWith(d, SimMode::Functional, 16,
                                    150'000, 100'000);
         PhaseResult timed = runWith(d, SimMode::Timed, 16,
                                     150'000, 100'000);
         expectIdentical(func, timed);
         EXPECT_EQ(func.metrics.traceRecords, 100'000u)
-            << designName(d);
+            << d;
     }
 }
 
@@ -136,7 +137,7 @@ TEST(TwoPhase, FunctionalWarmupSkipsDramModel)
     WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
     SyntheticTraceSource trace(spec);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Footprint;
+    cfg.design = "footprint";
     cfg.capacityMb = 16;
     cfg.pod.warmupMode = SimMode::Functional;
     Experiment exp(cfg, trace);
@@ -154,7 +155,7 @@ TEST(TwoPhase, TimedWarmupDoesTouchDramModel)
     WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
     SyntheticTraceSource trace(spec);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Footprint;
+    cfg.design = "footprint";
     cfg.capacityMb = 16;
     cfg.pod.warmupMode = SimMode::Timed;
     Experiment exp(cfg, trace);
@@ -167,10 +168,10 @@ TEST(TwoPhase, WarmupStateCarriesIntoMeasurement)
 {
     // A warmed cache must measure a lower miss ratio than a cold
     // one over the same window.
-    PhaseResult cold = runWith(DesignKind::Footprint,
+    PhaseResult cold = runWith("footprint",
                                SimMode::Functional, 16, 0,
                                200'000);
-    PhaseResult warm = runWith(DesignKind::Footprint,
+    PhaseResult warm = runWith("footprint",
                                SimMode::Functional, 16, 1'000'000,
                                200'000);
     EXPECT_LT(warm.metrics.missRatio(), cold.metrics.missRatio());
@@ -181,7 +182,7 @@ TEST(TwoPhase, LegacyAllTimedWarmupStillWorks)
     WorkloadSpec spec = makeWorkload(WorkloadKind::WebSearch);
     SyntheticTraceSource trace(spec);
     Experiment::Config cfg;
-    cfg.design = DesignKind::Footprint;
+    cfg.design = "footprint";
     cfg.capacityMb = 16;
     cfg.pod.allTimedWarmup = true;
     Experiment exp(cfg, trace);
