@@ -50,13 +50,27 @@ runExperimentCli(const char *experiment, int argc, char **argv)
     run.name = def->name;
     run.title = def->title;
     run.points = def->build(opts);
+    SweepRunner runner(opts.jobs, opts.traceCacheConfig());
     try {
-        run.results = SweepRunner(opts.jobs).run(run.points);
+        run.results = runner.run(run.points);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ERROR: %s\n", e.what());
         return 1;
     }
     def->report(opts, run.points, run.results);
+
+    if (opts.time) {
+        std::fputs(renderTimingReport({run},
+                                      runner.lastCacheStats())
+                       .c_str(),
+                   stdout);
+        if (!opts.timeOut.empty() &&
+            !writeTextFile(opts.timeOut,
+                           renderTimingJson(opts, {run},
+                                            runner
+                                                .lastCacheStats())))
+            return 1;
+    }
 
     if (!out_path.empty()) {
         if (!writeTextFile(out_path,

@@ -153,6 +153,74 @@ runPhased(WorkloadKind wk, const std::string &design, EngineMode mode,
     return out;
 }
 
+/** Trace generate-vs-replay rates (the arena's raison d'être). */
+struct TraceBench
+{
+    std::uint64_t records = 0;
+    double generateSeconds = 0.0;
+    double replaySeconds = 0.0;
+
+    double
+    generateRecsPerSec() const
+    {
+        return generateSeconds > 0.0 ? records / generateSeconds
+                                     : 0.0;
+    }
+
+    double
+    replayRecsPerSec() const
+    {
+        return replaySeconds > 0.0 ? records / replaySeconds
+                                   : 0.0;
+    }
+
+    double
+    speedup() const
+    {
+        return replaySeconds > 0.0
+                   ? generateSeconds / replaySeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * Materialize one warm-window-sized stream (generation cost,
+ * including the sampler construction every fresh source pays),
+ * then drain it through a ReplayTraceSource via the batch API
+ * (replay cost).
+ */
+TraceBench
+runTraceBench(WorkloadKind wk, double scale, std::uint64_t seed,
+              std::uint64_t capacity_mb)
+{
+    TraceBench out;
+    out.records = warmupRecords(capacity_mb, scale);
+
+    auto arena = std::make_shared<MaterializedTrace>();
+    auto t0 = std::chrono::steady_clock::now();
+    materializeTrace(makeWorkload(wk, 2048, seed), out.records,
+                     *arena);
+    out.generateSeconds = secondsSince(t0);
+
+    ReplayTraceSource replay(arena);
+    std::uint64_t sink = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (;;) {
+        TraceRecord *span = nullptr;
+        const std::size_t avail = replay.acquire(0, span);
+        if (avail == 0)
+            break;
+        for (std::size_t i = 0; i < avail; ++i)
+            sink += span[i].req.paddr;
+        replay.skip(avail);
+    }
+    out.replaySeconds = secondsSince(t0);
+    // Keep the drain loop observable.
+    if (sink == 0x5eed)
+        std::fprintf(stderr, "\n");
+    return out;
+}
+
 bool
 measuredIdentical(const PhaseTimes &a, const PhaseTimes &b)
 {
@@ -332,6 +400,29 @@ main(int argc, char **argv)
         std::fprintf(json, "    }");
     }
     std::fprintf(json, "\n  },\n");
+
+    // Trace arena: generation vs zero-copy replay of the same
+    // stream — the per-point cost the sweep's TraceCache removes
+    // for every point after the first sharing a trace identity.
+    const TraceBench tb =
+        runTraceBench(wk, args.scale, args.seed, capacity_mb);
+    std::printf("\ntrace arena (%llu records): generate %.0f "
+                "rec/s, replay %.0f rec/s (%.1fx)\n",
+                static_cast<unsigned long long>(tb.records),
+                tb.generateRecsPerSec(), tb.replayRecsPerSec(),
+                tb.speedup());
+    std::fprintf(
+        json,
+        "  \"trace\": {\"records\": %llu, "
+        "\"generate_seconds\": %.4f, "
+        "\"generate_records_per_sec\": %.0f, "
+        "\"replay_seconds\": %.4f, "
+        "\"replay_records_per_sec\": %.0f, "
+        "\"replay_speedup\": %.2f},\n",
+        static_cast<unsigned long long>(tb.records),
+        tb.generateSeconds, tb.generateRecsPerSec(),
+        tb.replaySeconds, tb.replayRecsPerSec(), tb.speedup());
+
     std::fprintf(json,
                  "  \"footprint_wallclock_speedup\": %.3f,\n",
                  footprint_speedup);

@@ -193,12 +193,17 @@ main(int argc, char **argv)
         return 1;
     }
 
-    SweepRunner runner(opts.jobs);
+    SweepRunner runner(opts.jobs, opts.traceCacheConfig());
+    const std::string cache_desc =
+        opts.traceCache ? std::to_string(opts.traceCacheMb) + "MB"
+                        : "off";
     std::printf("sweep: %zu experiment(s), %zu point(s), "
-                "%u job(s), scale %.2f, seed %llu\n",
+                "%u job(s), scale %.2f, seed %llu, "
+                "trace cache %s\n",
                 runs.size(), batch.size(), runner.jobs(),
                 opts.scale,
-                static_cast<unsigned long long>(opts.seed));
+                static_cast<unsigned long long>(opts.seed),
+                cache_desc.c_str());
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<PointResult> all;
@@ -232,6 +237,20 @@ main(int argc, char **argv)
 
     std::printf("\nsweep: %zu point(s) in %.1fs (%u jobs)\n",
                 batch.size(), seconds, runner.jobs());
+
+    if (opts.time) {
+        std::fputs(renderTimingReport(runs,
+                                      runner.lastCacheStats())
+                       .c_str(),
+                   stdout);
+        if (!opts.timeOut.empty()) {
+            const std::string timing_json = renderTimingJson(
+                opts, runs, runner.lastCacheStats());
+            if (!writeTextFile(opts.timeOut, timing_json))
+                return 1;
+            std::printf("wrote %s\n", opts.timeOut.c_str());
+        }
+    }
 
     const std::string json = renderSweepJson(opts, runs);
     if (!out_path.empty()) {

@@ -50,5 +50,12 @@ python3 scripts/check_bench_regression.py \
     --current "$BUILD_DIR"/BENCH_engine_quick.json \
     --tolerance 0.15 --relative
 # A cheap sweep slice; CI's sweep-smoke job runs the full grid.
+# Run it twice — trace/warmup cache on (default) and off — and
+# require byte-identical reports: the cache is a pure execution
+# optimization.
 "$BUILD_DIR"/sweep --quick --jobs "$JOBS" --filter fig12,table1,table4 \
     --out "$BUILD_DIR"/BENCH_sweep_quick.json
+"$BUILD_DIR"/sweep --quick --jobs "$JOBS" --filter fig12,table1,table4 \
+    --no-trace-cache --out "$BUILD_DIR"/BENCH_sweep_quick_nocache.json
+cmp "$BUILD_DIR"/BENCH_sweep_quick.json \
+    "$BUILD_DIR"/BENCH_sweep_quick_nocache.json

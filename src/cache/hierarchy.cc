@@ -41,6 +41,48 @@ CacheHierarchy::CacheHierarchy(const Config &config)
 }
 
 void
+CacheHierarchy::saveState(Snapshot &out) const
+{
+    out.l1d.resize(l1d_.size());
+    for (std::size_t c = 0; c < l1d_.size(); ++c)
+        l1d_[c]->saveState(out.l1d[c]);
+    l2_->saveState(out.l2);
+    out.l1Presence = l1_presence_;
+    out.l1Hits = l1_hits_.value();
+    out.l1Misses = l1_misses_.value();
+    out.l2Hits = l2_hits_.value();
+    out.l2Misses = l2_misses_.value();
+    out.llcWritebacks = llc_wb_.value();
+}
+
+void
+CacheHierarchy::restoreState(const Snapshot &s)
+{
+    FPC_ASSERT(s.l1d.size() == l1d_.size());
+    FPC_ASSERT(s.l1Presence.size() == l1_presence_.size());
+    for (std::size_t c = 0; c < l1d_.size(); ++c)
+        l1d_[c]->restoreState(s.l1d[c]);
+    l2_->restoreState(s.l2);
+    l1_presence_ = s.l1Presence;
+    l1_hits_.set(s.l1Hits);
+    l1_misses_.set(s.l1Misses);
+    l2_hits_.set(s.l2Hits);
+    l2_misses_.set(s.l2Misses);
+    llc_wb_.set(s.llcWritebacks);
+}
+
+std::uint64_t
+CacheHierarchy::stateBytes() const
+{
+    std::uint64_t bytes =
+        l1_presence_.size() * sizeof(std::uint32_t);
+    for (const auto &l1 : l1d_)
+        bytes += l1->stateBytes();
+    bytes += l2_->stateBytes();
+    return bytes;
+}
+
+void
 CacheHierarchy::backInvalidate(Addr addr, bool l2_dirty,
                                std::uint32_t present_mask,
                                HierarchyOutcome &out)

@@ -81,6 +81,32 @@ class CacheHierarchy
 
     const StatGroup &stats() const { return stats_; }
 
+    /**
+     * Complete mutable state of the hierarchy, restorable into
+     * any hierarchy built with an identical Config. Because the
+     * hierarchy has no feedback from the memory system below,
+     * its warmup evolution depends only on the request stream —
+     * which is what lets one snapshot serve every design point
+     * sharing a trace (see WarmupArtifact).
+     */
+    struct Snapshot
+    {
+        std::vector<SetAssocCache::Snapshot> l1d;
+        SetAssocCache::Snapshot l2;
+        std::vector<std::uint32_t> l1Presence;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t llcWritebacks = 0;
+    };
+
+    void saveState(Snapshot &out) const;
+    void restoreState(const Snapshot &s);
+
+    /** Bytes of mutable state (snapshot budget accounting). */
+    std::uint64_t stateBytes() const;
+
   private:
     void backInvalidate(Addr addr, bool l2_dirty,
                         std::uint32_t present_mask,

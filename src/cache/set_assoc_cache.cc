@@ -83,6 +83,34 @@ SetAssocCache::accessMiss(Addr addr, bool is_write)
     return res;
 }
 
+void
+SetAssocCache::saveState(Snapshot &out) const
+{
+    out.keys = keys_;
+    out.meta = meta_;
+    out.tick = tick_;
+    out.randState = rand_state_;
+    out.hits = hits_.value();
+    out.misses = misses_.value();
+    out.evictions = evictions_.value();
+    out.writebacks = writebacks_.value();
+}
+
+void
+SetAssocCache::restoreState(const Snapshot &s)
+{
+    FPC_ASSERT(s.keys.size() == keys_.size());
+    FPC_ASSERT(s.meta.size() == meta_.size());
+    keys_ = s.keys;
+    meta_ = s.meta;
+    tick_ = s.tick;
+    rand_state_ = s.randState;
+    hits_.set(s.hits);
+    misses_.set(s.misses);
+    evictions_.set(s.evictions);
+    writebacks_.set(s.writebacks);
+}
+
 bool
 SetAssocCache::probe(Addr addr) const
 {

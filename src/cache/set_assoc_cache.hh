@@ -56,6 +56,21 @@ struct CacheAccessResult
  */
 class SetAssocCache
 {
+  private:
+    /**
+     * Per-line replacement/dirty metadata (tags live in keys_),
+     * packed to 8 bytes so a 16-way set's metadata spans two cache
+     * lines. The 32-bit LRU stamp wraps after 4G accesses to one
+     * cache; past that point replacement quality degrades (the
+     * wrapped entries look recent) but behavior stays
+     * deterministic.
+     */
+    struct LineMeta
+    {
+        std::uint32_t lastUse = 0;
+        bool dirty = false;
+    };
+
   public:
     struct Config
     {
@@ -114,21 +129,36 @@ class SetAssocCache
     const StatGroup &stats() const { return stats_; }
     void resetStats() { stats_.resetAll(); }
 
-  private:
     /**
-     * Per-line replacement/dirty metadata (tags live in keys_),
-     * packed to 8 bytes so a 16-way set's metadata spans two cache
-     * lines. The 32-bit LRU stamp wraps after 4G accesses to one
-     * cache; past that point replacement quality degrades (the
-     * wrapped entries look recent) but behavior stays
-     * deterministic.
+     * Complete mutable state of the cache. Snapshots taken from
+     * one instance can be restored into any instance built with
+     * the same Config — the warmup-artifact fast path relies on
+     * restore being indistinguishable from having performed the
+     * accesses.
      */
-    struct LineMeta
+    struct Snapshot
     {
-        std::uint32_t lastUse = 0;
-        bool dirty = false;
+        std::vector<Addr> keys;
+        std::vector<LineMeta> meta;
+        std::uint64_t tick = 0;
+        std::uint64_t randState = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t writebacks = 0;
     };
 
+    void saveState(Snapshot &out) const;
+    void restoreState(const Snapshot &s);
+
+    /** Bytes of mutable state (snapshot budget accounting). */
+    std::uint64_t
+    stateBytes() const
+    {
+        return keys_.size() * (sizeof(Addr) + sizeof(LineMeta));
+    }
+
+  private:
     /** keys_ sentinel for an invalid line. */
     static constexpr Addr kNoTag = ~static_cast<Addr>(0);
 

@@ -29,6 +29,9 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /** Overwrite the count (snapshot restore paths only). */
+    void set(std::uint64_t v) { value_ = v; }
+
     Counter &
     operator+=(std::uint64_t n)
     {

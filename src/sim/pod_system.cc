@@ -68,7 +68,6 @@ PodSystem::runWarmup(std::uint64_t warmup_refs)
     // the L2 nearly every record. The L2-miss stream the DRAM
     // cache trains on is essentially dispatch-invariant, so this
     // only restores the L1 locality the timing loop exhibits.
-    constexpr unsigned kDispatchBurst = 1024; // power of two
     std::uint64_t pulled = 0;
 
     // Deferred memory-operation FIFO. Records that hit in the
@@ -198,6 +197,118 @@ PodSystem::runWarmup(std::uint64_t warmup_refs)
     offchip_.resetTiming();
 }
 
+std::shared_ptr<const WarmupArtifact>
+PodSystem::buildWarmupArtifact(const MaterializedTrace &trace,
+                               const CacheHierarchy::Config &hier_cfg,
+                               std::uint64_t warm_records)
+{
+    FPC_ASSERT(trace.size() >= warm_records);
+    auto art = std::make_shared<WarmupArtifact>();
+    CacheHierarchy hierarchy(hier_cfg);
+    const unsigned cores = hier_cfg.numCores;
+
+    // Bit-compatible with runWarmup's functional path: the same
+    // round-robin burst dispatch, and ops appended in enqueue
+    // order — which is exactly the order the deferred FIFO hands
+    // them to the memory system (FIFOs preserve order, and in
+    // functional mode the cycle argument is always 0, so *when*
+    // an op drains is irrelevant).
+    unsigned core = 0;
+    std::uint64_t pulled = 0;
+    std::uint64_t instructions = 0;
+    std::size_t ci = 0;
+    std::size_t off = 0;
+    MemRequest req;
+    while (pulled < warm_records) {
+        const MaterializedTrace::ChunkView c = trace.chunk(ci);
+        const std::uint64_t burst_left =
+            kDispatchBurst - (pulled & (kDispatchBurst - 1));
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(
+                {static_cast<std::uint64_t>(c.records - off),
+                 burst_left, warm_records - pulled}));
+        for (std::size_t i = 0; i < take; ++i) {
+            req.paddr = c.paddr[off + i];
+            req.pc = c.pc[off + i];
+            req.op = static_cast<MemOp>(c.op[off + i]);
+            req.coreId = static_cast<std::uint16_t>(core);
+            instructions += c.gap[off + i] + 1;
+
+            HierarchyOutcome out = hierarchy.access(req);
+            if (!out.l1Hit && !out.l2Hit) {
+                art->paddr.push_back(req.paddr);
+                art->pc.push_back(req.pc);
+                art->coreId.push_back(req.coreId);
+                art->kind.push_back(req.op == MemOp::Write
+                                        ? WarmupArtifact::kWrite
+                                        : WarmupArtifact::kRead);
+            }
+            for (unsigned w = 0; w < out.numWritebacks; ++w) {
+                art->paddr.push_back(out.writebackAddr[w]);
+                art->pc.push_back(0);
+                art->coreId.push_back(req.coreId);
+                art->kind.push_back(WarmupArtifact::kWriteback);
+            }
+        }
+        pulled += take;
+        off += take;
+        if (off == c.records) {
+            off = 0;
+            ++ci;
+        }
+        if ((pulled & (kDispatchBurst - 1)) == 0)
+            core = (core + 1 == cores) ? 0 : core + 1;
+    }
+
+    hierarchy.saveState(art->hierarchy);
+    art->records = warm_records;
+    art->instructions = instructions;
+    art->hierarchyBytes = hierarchy.stateBytes();
+    return art;
+}
+
+void
+PodSystem::applyWarmup(const WarmupArtifact &artifact)
+{
+    FPC_ASSERT(config_.warmupMode == SimMode::Functional &&
+               !config_.allTimedWarmup);
+    hierarchy_.restoreState(artifact.hierarchy);
+
+    memory_.setMode(SimMode::Functional);
+    const std::size_t n = artifact.paddr.size();
+    MemRequest req;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Same effective two-stage tag/payload prefetch
+        // distances the deferred FIFO gives the in-band warmup
+        // loop (stage 1 a full queue ahead, stage 2 half plus
+        // the in-flight drain slot).
+        if (i + 8 < n)
+            memory_.prefetchFor(artifact.paddr[i + 8]);
+        if (i + 5 < n)
+            memory_.prefetchFor2(artifact.paddr[i + 5]);
+        const std::uint8_t kind = artifact.kind[i];
+        if (kind == WarmupArtifact::kWriteback) {
+            memory_.writeback(0, artifact.paddr[i]);
+        } else {
+            req.paddr = artifact.paddr[i];
+            req.pc = artifact.pc[i];
+            req.op = kind == WarmupArtifact::kWrite
+                         ? MemOp::Write
+                         : MemOp::Read;
+            req.coreId = artifact.coreId[i];
+            memory_.access(0, req);
+        }
+    }
+    total_records_ += artifact.records;
+    total_instructions_ += artifact.instructions;
+
+    // Same phase boundary as runWarmup.
+    memory_.setMode(SimMode::Timed);
+    if (stacked_)
+        stacked_->resetTiming();
+    offchip_.resetTiming();
+}
+
 Cycle
 PodSystem::runMeasure(std::uint64_t measure_refs)
 {
@@ -217,14 +328,38 @@ PodSystem::runMeasure(std::uint64_t measure_refs)
         static_cast<std::size_t>(config_.numCores) * cap);
     std::vector<unsigned> depth(config_.numCores, 0);
 
+    // Batch consumption for core-agnostic sources: the event
+    // queue decides record-to-core dispatch one record at a time,
+    // but the records themselves come in stream order, so a span
+    // acquired once can feed many iterations (two fewer virtual
+    // calls per record on the hottest loop). The consumed prefix
+    // is skip()ped when the span drains and on exit, keeping the
+    // source position exact for subsequent run() calls.
+    TraceRecord *span = nullptr;
+    std::size_t span_len = 0;
+    std::size_t span_pos = 0;
+
     Cycle now = 0;
     while (!ready.empty() && total_records_ < stop) {
         auto [when, core] = ready.pop();
         now = std::max(now, when);
 
         TraceRecord rec;
-        if (!trace_.next(core, rec))
-            continue; // Trace exhausted: core stops issuing.
+        if (span_pos < span_len) {
+            rec = span[span_pos++];
+        } else {
+            if (span_pos > 0) {
+                trace_.skip(span_pos);
+                span_pos = 0;
+                span_len = 0;
+            }
+            span_len = trace_.acquire(core, span);
+            if (span_len > 0) {
+                rec = span[span_pos++];
+            } else if (!trace_.next(core, rec)) {
+                continue; // Trace exhausted: core stops issuing.
+            }
+        }
         rec.req.coreId = static_cast<std::uint16_t>(core);
         ++total_records_;
         total_instructions_ += rec.computeGap + 1;
@@ -296,6 +431,8 @@ PodSystem::runMeasure(std::uint64_t measure_refs)
 
         ready.schedule(ready_at, core);
     }
+    if (span_pos > 0)
+        trace_.skip(span_pos);
     return now;
 }
 

@@ -31,13 +31,16 @@
 #define FPC_SIM_POD_SYSTEM_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "core/event_queue.hh"
 #include "dram/system.hh"
 #include "dramcache/interface.hh"
+#include "mem/materialized_trace.hh"
 #include "mem/trace.hh"
+#include "mem/trace_cache.hh"
 
 namespace fpc {
 
@@ -172,6 +175,59 @@ struct RunMetrics
     }
 };
 
+/**
+ * Design-independent image of one functional warmup window.
+ *
+ * Under SimMode::Functional the warmup loop's record-to-core
+ * dispatch is timing-independent and the hierarchy has no feedback
+ * from the memory system below, so over a given trace prefix the
+ * hierarchy evolves identically for *every* design, and so does
+ * the sequence of memory-system operations it emits (the deferred
+ * FIFO preserves enqueue order, and every cycle argument is 0).
+ * One pass over the trace therefore captures everything a design
+ * needs to warm up: the hierarchy snapshot at the phase boundary
+ * plus the columnar post-L2 operation stream, which each point
+ * replays into its own memory system (PodSystem::applyWarmup) —
+ * skipping trace decoding and hierarchy simulation entirely.
+ *
+ * Artifacts are keyed by trace identity, hierarchy configuration
+ * and warm length, and shared through the TraceCache.
+ */
+struct WarmupArtifact : TraceCacheEntry
+{
+    /** Demand-access kinds of the op stream (kind column). */
+    static constexpr std::uint8_t kRead = 0;
+    static constexpr std::uint8_t kWrite = 1;
+    static constexpr std::uint8_t kWriteback = 2;
+
+    CacheHierarchy::Snapshot hierarchy;
+
+    /** Memory-system operations, in the order memory sees them. */
+    std::vector<Addr> paddr;
+    std::vector<Pc> pc;
+    std::vector<std::uint16_t> coreId;
+    std::vector<std::uint8_t> kind;
+
+    /** Trace records the warm window consumed. */
+    std::uint64_t records = 0;
+
+    /** Instructions those records carried (sum of gap + 1). */
+    std::uint64_t instructions = 0;
+
+    /** Hierarchy state bytes (filled by the builder). */
+    std::uint64_t hierarchyBytes = 0;
+
+    std::uint64_t
+    cacheBytes() const override
+    {
+        return hierarchyBytes +
+               paddr.size() *
+                   (sizeof(Addr) + sizeof(Pc) +
+                    sizeof(std::uint16_t) +
+                    sizeof(std::uint8_t));
+    }
+};
+
 /** One pod: cores + hierarchy + memory system + DRAM models. */
 class PodSystem
 {
@@ -190,6 +246,35 @@ class PodSystem
      */
     RunMetrics run(std::uint64_t warmup_refs,
                    std::uint64_t measure_refs);
+
+    /**
+     * Records per dispatch burst of the lightweight warmup loop
+     * (power of two). Shared with buildWarmupArtifact, whose
+     * dispatch must be bit-compatible.
+     */
+    static constexpr unsigned kDispatchBurst = 1024;
+
+    /**
+     * One hierarchy-only pass over records [0, warm_records) of
+     * @p trace: the design-independent half of a functional
+     * warmup. The returned artifact warms any same-config pod via
+     * applyWarmup().
+     */
+    static std::shared_ptr<const WarmupArtifact>
+    buildWarmupArtifact(const MaterializedTrace &trace,
+                        const CacheHierarchy::Config &hier_cfg,
+                        std::uint64_t warm_records);
+
+    /**
+     * Warm this pod from @p artifact instead of running the trace:
+     * restore the hierarchy snapshot and replay the op stream into
+     * the memory system (SimMode::Functional, like the loop it
+     * replaces), leaving state bit-identical to a full warmup over
+     * the same records. Only valid for the default functional
+     * warmup configuration; the caller advances the trace source
+     * past the warm window itself.
+     */
+    void applyWarmup(const WarmupArtifact &artifact);
 
     const CacheHierarchy &hierarchy() const { return hierarchy_; }
 

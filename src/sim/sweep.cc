@@ -4,16 +4,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
 
 #include "common/rng.hh"
+#include "mem/materialized_trace.hh"
 #include "workload/generator.hh"
 
 namespace fpc {
@@ -48,6 +52,15 @@ SweepOptions::effectiveJobs() const
     return resolveJobs(jobs);
 }
 
+TraceCacheConfig
+SweepOptions::traceCacheConfig() const
+{
+    TraceCacheConfig cfg;
+    cfg.enabled = traceCache;
+    cfg.budgetBytes = traceCacheMb << 20;
+    return cfg;
+}
+
 bool
 parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
 {
@@ -64,6 +77,17 @@ parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
     } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
         opts.jobs = static_cast<unsigned>(
             std::strtoul(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--no-trace-cache")) {
+        opts.traceCache = false;
+    } else if (!std::strcmp(argv[i], "--trace-cache-mb") &&
+               i + 1 < argc) {
+        opts.traceCacheMb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--time")) {
+        opts.time = true;
+    } else if (!std::strcmp(argv[i], "--time-out") &&
+               i + 1 < argc) {
+        opts.time = true;
+        opts.timeOut = argv[++i];
     } else {
         return false;
     }
@@ -72,7 +96,8 @@ parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
 
 const char *kCommonFlagsUsage =
     "[--quick] [--scale F] [--seed N] [--workload NAME] "
-    "[--jobs N]";
+    "[--jobs N] [--no-trace-cache] [--trace-cache-mb N] "
+    "[--time] [--time-out FILE]";
 
 bool
 checkWorkloadFilter(const SweepOptions &opts)
@@ -147,6 +172,35 @@ ExperimentPoint::traceSeed() const
 }
 
 std::string
+ExperimentPoint::traceKey() const
+{
+    std::string key = workloadName(workload);
+    key += "/";
+    key += std::to_string(cfg.pageBytes);
+    key += "/";
+    key += std::to_string(baseSeed);
+    return key;
+}
+
+std::uint64_t
+ExperimentPoint::warmupWindow() const
+{
+    // Cacheless designs have no capacity-scaled structures to
+    // warm; give them the smallest window.
+    const DesignDef *def =
+        DesignRegistry::instance().find(cfg.design);
+    const bool cacheless = def && !def->usesStackedDram;
+    return cacheless ? warmupRecords(64, scale)
+                     : warmupRecords(cfg.capacityMb, scale);
+}
+
+std::uint64_t
+ExperimentPoint::standardRecords() const
+{
+    return warmupWindow() + measureRecords(scale);
+}
+
+std::string
 standardLabel(WorkloadKind wk, const Experiment::Config &cfg)
 {
     const Experiment::Config defaults;
@@ -180,27 +234,141 @@ standardLabel(WorkloadKind wk, const Experiment::Config &cfg)
     return label;
 }
 
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Everything the functional warmup's evolution depends on besides
+ * the trace: core count and the hierarchy geometry. Part of the
+ * WarmupArtifact cache key, so points with non-standard pods get
+ * their own artifacts instead of wrong sharing.
+ */
+std::string
+hierarchySignature(const PodConfig &pod)
+{
+    const CacheHierarchy::Config &h = pod.hierarchy;
+    char buf[160];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%u/%" PRIu64 ".%u.%u.%u.%" PRIu64 "/%" PRIu64
+        ".%u.%u.%u.%" PRIu64,
+        pod.numCores, h.l1.sizeBytes, h.l1.assoc, h.l1.blockBytes,
+        static_cast<unsigned>(h.l1.repl), h.l1.seed,
+        h.l2.sizeBytes, h.l2.assoc, h.l2.blockBytes,
+        static_cast<unsigned>(h.l2.repl), h.l2.seed);
+    return buf;
+}
+
+/**
+ * The warmup-artifact fast path only replicates the default
+ * functional warmup; timed/all-timed warmups keep the in-band
+ * loop (their evolution is not design-independent).
+ */
+bool
+warmupArtifactEligible(const ExperimentPoint &point,
+                       std::uint64_t warm)
+{
+    return warm > 0 &&
+           point.cfg.pod.warmupMode == SimMode::Functional &&
+           !point.cfg.pod.allTimedWarmup;
+}
+
+std::string
+warmupArtifactKey(const ExperimentPoint &point,
+                  std::uint64_t warm)
+{
+    return "warmup/" + point.traceKey() + "/" +
+           std::to_string(warm) + "/" +
+           hierarchySignature(point.cfg.pod);
+}
+
+} // namespace
+
 PointResult
 runPoint(const ExperimentPoint &point)
 {
     if (point.custom)
         return point.custom(point);
 
-    WorkloadSpec spec = makeWorkload(
-        point.workload, point.cfg.pageBytes, point.traceSeed());
-    SyntheticTraceSource trace(spec);
-    Experiment exp(point.cfg, trace);
     PointResult out;
-    // Cacheless designs have no capacity-scaled structures to
-    // warm; give them the smallest window.
-    const DesignDef *def =
-        DesignRegistry::instance().find(point.cfg.design);
-    const bool cacheless = def && !def->usesStackedDram;
-    const std::uint64_t warm =
-        cacheless ? warmupRecords(64, point.scale)
-                  : warmupRecords(point.cfg.capacityMb,
-                                  point.scale);
-    out.metrics = exp.run(warm, measureRecords(point.scale));
+    const std::uint64_t warm = point.warmupWindow();
+    const std::uint64_t measure = measureRecords(point.scale);
+
+    // Trace acquisition: replay the shared arena when a cache is
+    // wired in, otherwise generate a fresh stream (the two are
+    // bit-identical; tests/test_trace_cache.cc).
+    auto t0 = std::chrono::steady_clock::now();
+    std::unique_ptr<ReplayTraceSource> replay;
+    std::unique_ptr<SyntheticTraceSource> fresh;
+    std::shared_ptr<const MaterializedTrace> arena;
+    TraceSource *trace = nullptr;
+    if (point.traceCache) {
+        bool generated = false;
+        arena = std::static_pointer_cast<const MaterializedTrace>(
+            point.traceCache->acquire(
+                "trace/" + point.traceKey(), warm + measure,
+                [&](std::uint64_t records) {
+                    generated = true;
+                    auto built =
+                        std::make_shared<MaterializedTrace>();
+                    materializeTrace(
+                        makeWorkload(point.workload,
+                                     point.cfg.pageBytes,
+                                     point.traceSeed()),
+                        records, *built);
+                    return built;
+                }));
+        FPC_ASSERT(arena->size() >= warm + measure);
+        out.timing.replayedTrace = true;
+        out.timing.generatedTrace = generated;
+        replay = std::make_unique<ReplayTraceSource>(arena);
+        trace = replay.get();
+    } else {
+        fresh = std::make_unique<SyntheticTraceSource>(
+            makeWorkload(point.workload, point.cfg.pageBytes,
+                         point.traceSeed()));
+        trace = fresh.get();
+    }
+    out.timing.traceSeconds = secondsSince(t0);
+
+    Experiment exp(point.cfg, *trace);
+
+    // Warmup: the default functional warmup is design-independent
+    // given the trace, so replay points share one WarmupArtifact
+    // (hierarchy snapshot + post-L2 op stream) per warm window.
+    t0 = std::chrono::steady_clock::now();
+    if (arena != nullptr && warmupArtifactEligible(point, warm)) {
+        bool built = false;
+        auto artifact =
+            std::static_pointer_cast<const WarmupArtifact>(
+                point.traceCache->acquire(
+                    warmupArtifactKey(point, warm), warm,
+                    [&](std::uint64_t) -> TraceCache::EntryPtr {
+                        built = true;
+                        return PodSystem::buildWarmupArtifact(
+                            *arena, point.cfg.pod.hierarchy,
+                            warm);
+                    }));
+        out.timing.replayedWarmup = true;
+        out.timing.builtWarmup = built;
+        exp.pod().applyWarmup(*artifact);
+        replay->seekTo(warm);
+    } else if (warm > 0) {
+        exp.run(warm, 0);
+    }
+    out.timing.warmupSeconds = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    out.metrics = exp.run(0, measure);
+    out.timing.measureSeconds = secondsSince(t0);
+
     if (FootprintCache *fc = exp.footprintCache()) {
         fc->finalizeResidency();
         out.hasFootprint = true;
@@ -246,7 +414,8 @@ SweepSpec::expand() const
     return points;
 }
 
-SweepRunner::SweepRunner(unsigned jobs) : jobs_(resolveJobs(jobs))
+SweepRunner::SweepRunner(unsigned jobs, TraceCacheConfig cache)
+    : jobs_(resolveJobs(jobs)), cacheCfg_(cache)
 {
 }
 
@@ -261,6 +430,26 @@ SweepRunner::run(const std::vector<ExperimentPoint> &points) const
             throw std::runtime_error("duplicate sweep point key: " +
                                      p.key());
     }
+
+    // Plan the arena sizes up front: every point registers its
+    // demand so the first acquirer of an identity generates a
+    // stream long enough for the largest window sharing it.
+    std::optional<TraceCache> cache;
+    if (cacheCfg_.enabled) {
+        cache.emplace(cacheCfg_.budgetBytes);
+        for (const ExperimentPoint &p : points) {
+            // Custom points (e.g. frontier's) usually route back
+            // through runPoint; planning them like standard
+            // points over-counts at worst, which only delays an
+            // entry's eager release until the LRU budget acts.
+            cache->plan("trace/" + p.traceKey(),
+                        p.standardRecords());
+            const std::uint64_t warm = p.warmupWindow();
+            if (warmupArtifactEligible(p, warm))
+                cache->plan(warmupArtifactKey(p, warm), warm);
+        }
+    }
+    cacheStats_ = TraceCacheStats{};
 
     // Lock-free collection: one pre-sized slot per point (and
     // per error), a single atomic cursor for distribution. Point
@@ -278,7 +467,9 @@ SweepRunner::run(const std::vector<ExperimentPoint> &points) const
             if (i >= points.size())
                 return;
             try {
-                results[i] = runPoint(points[i]);
+                ExperimentPoint p = points[i];
+                p.traceCache = cache ? &*cache : nullptr;
+                results[i] = runPoint(p);
             } catch (const std::exception &e) {
                 errors[i] = e.what();
             } catch (...) {
@@ -310,6 +501,9 @@ SweepRunner::run(const std::vector<ExperimentPoint> &points) const
                     " failed: " + errors[i];
         ++failed;
     }
+    if (cache)
+        cacheStats_ = cache->stats();
+
     if (failed) {
         if (failed > 1)
             first += " (and " + std::to_string(failed - 1) +
@@ -343,8 +537,25 @@ appendFmt(std::string &out, const char *fmt, ...)
 }
 
 void
+appendTiming(std::string &out, const PointTiming &t,
+             const char *indent)
+{
+    appendFmt(out,
+              "%s\"timing\": {\"trace_s\": %.4f, "
+              "\"warmup_s\": %.4f, \"measure_s\": %.4f, "
+              "\"replayed_trace\": %s, \"generated_trace\": %s, "
+              "\"replayed_warmup\": %s, \"built_warmup\": %s}",
+              indent, t.traceSeconds, t.warmupSeconds,
+              t.measureSeconds,
+              t.replayedTrace ? "true" : "false",
+              t.generatedTrace ? "true" : "false",
+              t.replayedWarmup ? "true" : "false",
+              t.builtWarmup ? "true" : "false");
+}
+
+void
 appendPoint(std::string &out, const ExperimentPoint &p,
-            const PointResult &r)
+            const PointResult &r, bool emit_timing)
 {
     const RunMetrics &m = r.metrics;
     out += "        {\"key\": \"";
@@ -410,6 +621,10 @@ appendPoint(std::string &out, const ExperimentPoint &p,
         }
         out += "}";
     }
+    if (emit_timing) {
+        out += ",\n";
+        appendTiming(out, r.timing, "         ");
+    }
     out += "}";
 }
 
@@ -426,6 +641,11 @@ renderSweepJson(const SweepOptions &options,
     appendFmt(out, "  \"seed\": %" PRIu64 ",\n", options.seed);
     // Deliberately no "jobs" key: the report must be
     // byte-identical across shard counts (tests/test_sweep.cc).
+    // Per-point timings go in only for --time without --time-out:
+    // wall-clock is execution detail, and embedding it would break
+    // the byte-identity across job counts and cache on/off.
+    const bool emit_timing =
+        options.time && options.timeOut.empty();
     out += "  \"experiments\": {\n";
     bool first_exp = true;
     for (const ExperimentRun &run : runs) {
@@ -439,7 +659,8 @@ renderSweepJson(const SweepOptions &options,
         out += "\",\n      \"points\": [";
         for (std::size_t i = 0; i < run.points.size(); ++i) {
             out += i ? ",\n" : "\n";
-            appendPoint(out, run.points[i], run.results[i]);
+            appendPoint(out, run.points[i], run.results[i],
+                        emit_timing);
         }
         out += run.points.empty() ? "]\n    }" : "\n      ]\n    }";
     }
@@ -452,6 +673,94 @@ sweepJsonHasExperiment(const std::string &json,
                        const std::string &name)
 {
     return json.find("\"" + name + "\": {") != std::string::npos;
+}
+
+std::string
+renderTimingReport(const std::vector<ExperimentRun> &runs,
+                   const TraceCacheStats &cache)
+{
+    std::string out;
+    out += "\nper-point wall-clock breakdown "
+           "(g = generated/built here, r = replayed shared "
+           "artifact)\n";
+    appendFmt(out, "  %-52s %8s %9s %9s %9s\n", "point", "trace",
+              "warmup", "measure", "total");
+    double trace_s = 0, warm_s = 0, meas_s = 0;
+    for (const ExperimentRun &run : runs) {
+        for (std::size_t i = 0; i < run.results.size(); ++i) {
+            const PointTiming &t = run.results[i].timing;
+            const std::string key = run.points[i].key();
+            char trace_tag =
+                t.generatedTrace ? 'g'
+                                 : (t.replayedTrace ? 'r' : ' ');
+            char warm_tag =
+                t.builtWarmup ? 'g'
+                              : (t.replayedWarmup ? 'r' : ' ');
+            appendFmt(out,
+                      "  %-52s %7.2fs%c %7.2fs%c %8.2fs %8.2fs\n",
+                      key.c_str(), t.traceSeconds, trace_tag,
+                      t.warmupSeconds, warm_tag, t.measureSeconds,
+                      t.totalSeconds());
+            trace_s += t.traceSeconds;
+            warm_s += t.warmupSeconds;
+            meas_s += t.measureSeconds;
+        }
+    }
+    appendFmt(out, "  %-52s %7.2fs  %7.2fs  %8.2fs %8.2fs\n",
+              "TOTAL", trace_s, warm_s, meas_s,
+              trace_s + warm_s + meas_s);
+    appendFmt(out,
+              "trace cache: %" PRIu64 " hit(s), %" PRIu64
+              " miss(es), %" PRIu64 " regeneration(s), %" PRIu64
+              " eviction(s), %" PRIu64 " released, %" PRIu64
+              " wait(s), peak %.1f MB, %.2fs building\n",
+              cache.hits, cache.misses, cache.regenerations,
+              cache.evictions, cache.released, cache.waits,
+              static_cast<double>(cache.peakBytes) / (1 << 20),
+              cache.buildSeconds);
+    return out;
+}
+
+std::string
+renderTimingJson(const SweepOptions &options,
+                 const std::vector<ExperimentRun> &runs,
+                 const TraceCacheStats &cache)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"bench\": \"sweep_timing\",\n";
+    appendFmt(out, "  \"scale\": %.4f,\n", options.scale);
+    appendFmt(out, "  \"seed\": %" PRIu64 ",\n", options.seed);
+    appendFmt(out, "  \"jobs\": %u,\n", options.effectiveJobs());
+    appendFmt(out, "  \"trace_cache\": %s,\n",
+              options.traceCache ? "true" : "false");
+    appendFmt(out,
+              "  \"cache\": {\"hits\": %" PRIu64
+              ", \"misses\": %" PRIu64
+              ", \"regenerations\": %" PRIu64
+              ", \"evictions\": %" PRIu64
+              ", \"released\": %" PRIu64 ", \"waits\": %" PRIu64
+              ", \"peak_bytes\": %" PRIu64
+              ", \"build_seconds\": %.4f},\n",
+              cache.hits, cache.misses, cache.regenerations,
+              cache.evictions, cache.released, cache.waits,
+              cache.peakBytes, cache.buildSeconds);
+    out += "  \"points\": [";
+    bool first = true;
+    for (const ExperimentRun &run : runs) {
+        for (std::size_t i = 0; i < run.results.size(); ++i) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "    {\"key\": \"";
+            appendJsonEscaped(out, run.points[i].key());
+            out += "\", ";
+            appendTiming(out, run.results[i].timing, "");
+            out += "}";
+        }
+    }
+    out += first ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
 }
 
 } // namespace fpc

@@ -31,10 +31,31 @@
 #include <utility>
 #include <vector>
 
+#include "mem/trace_cache.hh"
 #include "sim/experiment.hh"
 #include "workload/spec.hh"
 
 namespace fpc {
+
+/**
+ * Trace/warmup-artifact cache configuration of one sweep run.
+ *
+ * When enabled, each unique trace identity is generated once into
+ * a MaterializedTrace and replayed by every point sharing it, and
+ * each (trace, hierarchy, warm window) functional-warmup image is
+ * built once and applied to every design point sharing it. The
+ * byte budget bounds resident arena+artifact memory (default
+ * sized for CI runners; entries in use are never evicted, so a
+ * too-small budget degrades to regeneration, never to wrong
+ * results). Results are bit-identical with the cache on or off.
+ */
+struct TraceCacheConfig
+{
+    bool enabled = true;
+
+    /** Resident byte budget (default 1024 MB). */
+    std::uint64_t budgetBytes = std::uint64_t{1024} << 20;
+};
 
 /** Options shared by every sweep entry point (CLI and library). */
 struct SweepOptions
@@ -56,11 +77,31 @@ struct SweepOptions
     /** Worker threads (0 = hardware concurrency). */
     unsigned jobs = 0;
 
+    /** Share traces/warmups across points (--no-trace-cache). */
+    bool traceCache = true;
+
+    /** Trace-cache byte budget in MB (--trace-cache-mb). */
+    std::uint64_t traceCacheMb = 1024;
+
+    /** Per-point wall-clock breakdown reporting (--time). */
+    bool time = false;
+
+    /**
+     * Write the --time breakdown to this file as JSON instead of
+     * embedding it in the merged report (--time-out). Keeping the
+     * merged JSON timing-free preserves its byte-identity across
+     * cache on/off and job counts.
+     */
+    std::string timeOut;
+
     /** Workloads selected by the filter (default: all six). */
     std::vector<WorkloadKind> workloads() const;
 
     /** Effective worker count (resolves 0 to the hardware). */
     unsigned effectiveJobs() const;
+
+    /** The trace-cache configuration these options select. */
+    TraceCacheConfig traceCacheConfig() const;
 };
 
 /** Resolve a --jobs value: 0 means hardware concurrency. */
@@ -105,10 +146,45 @@ std::uint64_t warmupRecords(std::uint64_t capacity_mb,
 /** Measurement window. */
 std::uint64_t measureRecords(double scale);
 
+/**
+ * Wall-clock breakdown of one point (--time): where the seconds
+ * went and which phases were served from the TraceCache.
+ */
+struct PointTiming
+{
+    /** Trace acquisition: generation, or arena/artifact waits. */
+    double traceSeconds = 0.0;
+
+    double warmupSeconds = 0.0;
+    double measureSeconds = 0.0;
+
+    /** Trace records came from a shared MaterializedTrace. */
+    bool replayedTrace = false;
+
+    /** This point built the shared arena (cache miss). */
+    bool generatedTrace = false;
+
+    /** Warmup replayed a shared WarmupArtifact. */
+    bool replayedWarmup = false;
+
+    /** This point built the shared warmup artifact. */
+    bool builtWarmup = false;
+
+    double
+    totalSeconds() const
+    {
+        return traceSeconds + warmupSeconds + measureSeconds;
+    }
+};
+
 /** Result of one experiment point. */
 struct PointResult
 {
     RunMetrics metrics;
+
+    /** Wall-clock attribution (never part of the merged JSON
+     * unless --time asks for it). */
+    PointTiming timing;
 
     /* Snapshot of footprint-cache detail (valid when present). */
     bool hasFootprint = false;
@@ -156,6 +232,15 @@ struct ExperimentPoint
      */
     std::function<PointResult(const ExperimentPoint &)> custom;
 
+    /**
+     * Shared artifact cache, set (non-owning) by the SweepRunner
+     * on its working copy of the point. runPoint() replays the
+     * point's trace — and, for the default functional warmup, its
+     * warmup artifact — from here instead of regenerating them.
+     * Null (external callers) preserves per-point generation.
+     */
+    TraceCache *traceCache = nullptr;
+
     /** Globally unique key: "<experiment>/<label>". */
     std::string key() const;
 
@@ -165,6 +250,24 @@ struct ExperimentPoint
      * organization, capacity, registry order and thread schedule.
      */
     std::uint64_t traceSeed() const;
+
+    /**
+     * The exact trace identity ("workload/pageBytes/baseSeed"):
+     * points with equal keys replay equal streams.
+     */
+    std::string traceKey() const;
+
+    /**
+     * Warmup window of the standard run path (capacity-scaled;
+     * cacheless designs get the smallest window).
+     */
+    std::uint64_t warmupWindow() const;
+
+    /**
+     * Trace records the standard run path consumes in total
+     * (warmup + measurement) — what the arena must hold.
+     */
+    std::uint64_t standardRecords() const;
 };
 
 /**
@@ -213,8 +316,13 @@ struct SweepSpec
 class SweepRunner
 {
   public:
-    /** @param jobs worker threads (0 = hardware concurrency). */
-    explicit SweepRunner(unsigned jobs = 0);
+    /**
+     * @param jobs worker threads (0 = hardware concurrency).
+     * @param cache trace/warmup sharing across points (enabled
+     *        by default; results are identical either way).
+     */
+    explicit SweepRunner(unsigned jobs = 0,
+                         TraceCacheConfig cache = {});
 
     /** Run all points; result i corresponds to points[i]. */
     std::vector<PointResult>
@@ -222,8 +330,17 @@ class SweepRunner
 
     unsigned jobs() const { return jobs_; }
 
+    /** Cache counters of the most recent run() (empty when the
+     * cache was disabled). */
+    const TraceCacheStats &lastCacheStats() const
+    {
+        return cacheStats_;
+    }
+
   private:
     unsigned jobs_;
+    TraceCacheConfig cacheCfg_;
+    mutable TraceCacheStats cacheStats_;
 };
 
 /** One experiment's expanded points and collected results. */
@@ -249,6 +366,21 @@ std::string renderSweepJson(const SweepOptions &options,
  */
 bool sweepJsonHasExperiment(const std::string &json,
                             const std::string &name);
+
+/**
+ * Human-readable per-point wall-clock breakdown (--time): one
+ * line per point (trace / warmup / measure seconds and which
+ * phases replayed shared artifacts) plus the cache summary.
+ */
+std::string
+renderTimingReport(const std::vector<ExperimentRun> &runs,
+                   const TraceCacheStats &cache);
+
+/** The same breakdown as standalone JSON (--time-out FILE). */
+std::string
+renderTimingJson(const SweepOptions &options,
+                 const std::vector<ExperimentRun> &runs,
+                 const TraceCacheStats &cache);
 
 } // namespace fpc
 

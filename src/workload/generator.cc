@@ -39,6 +39,7 @@ SyntheticTraceSource::init()
     schedule_ = {};
     pending_.clear();
     pending_pos_ = 0;
+    acquired_ = 0;
     emitted_ = 0;
     sched_seq_ = 0;
     scan_next_page_ = 0;
@@ -272,6 +273,7 @@ bool
 SyntheticTraceSource::next(unsigned core_id, TraceRecord &out)
 {
     (void)core_id;
+    acquired_ = 0; // any previously acquired span is now stale
     if (pending_pos_ == pending_.size())
         refill();
     out = pending_[pending_pos_++];
@@ -286,13 +288,15 @@ SyntheticTraceSource::acquire(unsigned core_id,
     if (pending_pos_ == pending_.size())
         refill();
     span = pending_.data() + pending_pos_;
-    return pending_.size() - pending_pos_;
+    acquired_ = pending_.size() - pending_pos_;
+    return acquired_;
 }
 
 void
 SyntheticTraceSource::skip(std::size_t n)
 {
-    FPC_ASSERT(pending_pos_ + n <= pending_.size());
+    FPC_ASSERT(n <= acquired_);
+    acquired_ -= n;
     pending_pos_ += n;
 }
 
@@ -315,6 +319,24 @@ void
 SyntheticTraceSource::reset()
 {
     init();
+}
+
+void
+materializeTrace(const WorkloadSpec &spec, std::uint64_t records,
+                 MaterializedTrace &out)
+{
+    SyntheticTraceSource src(spec);
+    std::uint64_t pulled = 0;
+    while (pulled < records) {
+        TraceRecord *span = nullptr;
+        const std::size_t avail = src.acquire(0, span);
+        FPC_ASSERT(avail > 0);
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(avail, records - pulled));
+        out.append(span, take);
+        src.skip(take);
+        pulled += take;
+    }
 }
 
 } // namespace fpc

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "mem/materialized_trace.hh"
 #include "mem/trace.hh"
 #include "workload/spec.hh"
 
@@ -41,6 +42,13 @@ class SyntheticTraceSource : public TraceSource
 
     /** Distinct page visits started so far. */
     std::uint64_t visitsStarted() const { return visits_started_; }
+
+    /** Records consumed (via next or skip) so far. */
+    std::uint64_t
+    consumed() const
+    {
+        return emitted_ - (pending_.size() - pending_pos_);
+    }
 
     const WorkloadSpec &spec() const { return spec_; }
 
@@ -132,11 +140,26 @@ class SyntheticTraceSource : public TraceSource
      */
     std::vector<TraceRecord> pending_;
     std::size_t pending_pos_ = 0;
+    /**
+     * Records of the last acquire()d span not yet skip()ped: a
+     * skip past the exposed span would silently desync the cores'
+     * shared stream, so skip() checks against it.
+     */
+    std::size_t acquired_ = 0;
     std::uint64_t emitted_ = 0;
     std::uint64_t sched_seq_ = 0;
     std::uint64_t scan_next_page_ = 0;
     std::uint64_t visits_started_ = 0;
 };
+
+/**
+ * Generate the first @p records of @p spec's stream into @p out
+ * exactly as a fresh SyntheticTraceSource would emit them (the
+ * bit-identity tests/test_trace_cache.cc relies on).
+ */
+void materializeTrace(const WorkloadSpec &spec,
+                      std::uint64_t records,
+                      MaterializedTrace &out);
 
 } // namespace fpc
 

@@ -186,6 +186,129 @@ TEST(SweepRunner, JobsOneAndJobsEightBitIdentical)
     EXPECT_EQ(json_a, json_b);
 }
 
+TEST(SweepRunner, CacheOnAndOffBitIdentical)
+{
+    // The trace/warmup cache is a pure execution optimization:
+    // metrics and the rendered report must not change with it.
+    const std::vector<ExperimentPoint> points = smallBatch();
+    TraceCacheConfig off;
+    off.enabled = false;
+    SweepRunner cached(2);
+    SweepRunner uncached(2, off);
+    const std::vector<PointResult> a = cached.run(points);
+    const std::vector<PointResult> b = uncached.run(points);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        expectMetricsIdentical(a[i], b[i], points[i].key());
+
+    // The cache actually engaged on the cached run...
+    EXPECT_GT(cached.lastCacheStats().hits +
+                  cached.lastCacheStats().misses,
+              0u);
+    EXPECT_EQ(uncached.lastCacheStats().hits, 0u);
+
+    // ...and the artifact replay kicked in for standard points.
+    for (const PointResult &r : a)
+        EXPECT_TRUE(r.timing.replayedTrace);
+    for (const PointResult &r : b)
+        EXPECT_FALSE(r.timing.replayedTrace);
+
+    SweepOptions opts;
+    opts.scale = 0.02;
+    ExperimentRun ra{"unit", "t", points, a};
+    ExperimentRun rb{"unit", "t", points, b};
+    opts.traceCache = true;
+    const std::string json_a = renderSweepJson(opts, {ra});
+    opts.traceCache = false;
+    const std::string json_b = renderSweepJson(opts, {rb});
+    EXPECT_EQ(json_a, json_b);
+    EXPECT_EQ(json_a.find("timing"), std::string::npos);
+}
+
+TEST(SweepRunner, FrontierJsonIdenticalAcrossCacheModes)
+{
+    // The frontier experiment is the trace cache's prime target:
+    // seven designs share each workload's trace and warm window.
+    // The merged JSON must stay byte-identical with the cache on
+    // (shared arena + warmup artifacts) and off.
+    ExperimentRegistry reg;
+    registerAllExperiments(reg);
+    const ExperimentDef *def = reg.find("frontier");
+    ASSERT_NE(def, nullptr);
+
+    SweepOptions opts;
+    opts.scale = 0.01;
+    opts.workloadFilter = "WebSearch";
+    ExperimentRun run;
+    run.name = def->name;
+    run.title = def->title;
+    run.points = def->build(opts);
+    ASSERT_EQ(run.points.size(), 7u);
+
+    TraceCacheConfig off;
+    off.enabled = false;
+    ExperimentRun cached = run;
+    cached.results = SweepRunner(4).run(run.points);
+    ExperimentRun uncached = run;
+    uncached.results = SweepRunner(4, off).run(run.points);
+
+    opts.traceCache = true;
+    const std::string json_on =
+        renderSweepJson(opts, {cached});
+    opts.traceCache = false;
+    const std::string json_off =
+        renderSweepJson(opts, {uncached});
+    EXPECT_EQ(json_on, json_off);
+}
+
+TEST(SweepRunner, TinyBudgetEvictsButStaysCorrect)
+{
+    // A one-byte budget forces eviction after every release; the
+    // sweep must still produce identical results (the cache
+    // degrades to regeneration, never to wrong data).
+    const std::vector<ExperimentPoint> points = smallBatch();
+    TraceCacheConfig tiny;
+    tiny.budgetBytes = 1;
+    SweepRunner constrained(2, tiny);
+    SweepRunner roomy(2);
+    const std::vector<PointResult> a = constrained.run(points);
+    const std::vector<PointResult> b = roomy.run(points);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        expectMetricsIdentical(a[i], b[i], points[i].key());
+}
+
+TEST(SweepJson, TimingEmittedOnlyOnExplicitRequest)
+{
+    const std::vector<ExperimentPoint> points = smallBatch();
+    std::vector<PointResult> results(points.size());
+    results[0].timing.traceSeconds = 1.25;
+    results[0].timing.replayedTrace = true;
+    ExperimentRun run{"unit", "t", points, results};
+
+    SweepOptions opts;
+    EXPECT_EQ(renderSweepJson(opts, {run}).find("timing"),
+              std::string::npos);
+
+    opts.time = true;
+    EXPECT_NE(renderSweepJson(opts, {run}).find("\"timing\""),
+              std::string::npos);
+
+    // --time-out keeps the merged report clean; the breakdown
+    // goes to the standalone artifact instead.
+    opts.timeOut = "timing.json";
+    EXPECT_EQ(renderSweepJson(opts, {run}).find("timing"),
+              std::string::npos);
+    const std::string timing_json =
+        renderTimingJson(opts, {run}, TraceCacheStats{});
+    EXPECT_NE(timing_json.find("\"trace_s\": 1.2500"),
+              std::string::npos);
+    EXPECT_NE(timing_json.find("sweep_timing"),
+              std::string::npos);
+    const std::string report =
+        renderTimingReport({run}, TraceCacheStats{});
+    EXPECT_NE(report.find("unit/"), std::string::npos);
+    EXPECT_NE(report.find("trace cache:"), std::string::npos);
+}
+
 TEST(SweepRunner, ResultsIndependentOfBatchOrder)
 {
     // Reversing the batch must permute, not perturb, results —
