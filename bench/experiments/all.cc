@@ -22,6 +22,7 @@ registerAllExperiments(ExperimentRegistry &reg)
     registerAblationCapacity(reg);
     registerAblationPredictor(reg);
     registerFrontier(reg);
+    registerColocation(reg);
 }
 
 } // namespace fpcbench

@@ -33,6 +33,7 @@ void registerTable4(ExperimentRegistry &reg);
 void registerAblationCapacity(ExperimentRegistry &reg);
 void registerAblationPredictor(ExperimentRegistry &reg);
 void registerFrontier(ExperimentRegistry &reg);
+void registerColocation(ExperimentRegistry &reg);
 
 /** Register every paper experiment, in presentation order. */
 void registerAllExperiments(ExperimentRegistry &reg);

@@ -59,3 +59,14 @@ python3 scripts/check_bench_regression.py \
     --no-trace-cache --out "$BUILD_DIR"/BENCH_sweep_quick_nocache.json
 cmp "$BUILD_DIR"/BENCH_sweep_quick.json \
     "$BUILD_DIR"/BENCH_sweep_quick_nocache.json
+# Colocation interference matrix: shard-count invariance (byte
+# diff of --jobs 1 vs --jobs 2) plus per-tenant metric
+# conservation and matrix coverage in the shipped JSON.
+"$BUILD_DIR"/sweep --quick --jobs 1 --filter colocation --no-report \
+    --out "$BUILD_DIR"/BENCH_colocation_j1.json
+"$BUILD_DIR"/sweep --quick --jobs 2 --filter colocation --no-report \
+    --out "$BUILD_DIR"/BENCH_colocation_j2.json
+cmp "$BUILD_DIR"/BENCH_colocation_j1.json \
+    "$BUILD_DIR"/BENCH_colocation_j2.json
+python3 scripts/check_bench_regression.py \
+    --colocation-json "$BUILD_DIR"/BENCH_colocation_j1.json

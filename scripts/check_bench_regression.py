@@ -19,10 +19,21 @@ compare against the per-design *minimum* ns/record: the minimum
 is robust to scheduler noise spikes, which on shared CI vCPUs
 dwarf real regressions in any single short run.
 
+The guard also covers the colocation experiment: pass
+--colocation-json with a merged sweep report containing the
+`colocation` experiment and the script validates the interference
+matrix instead of (or in addition to) the engine timings —
+per-point tenant-metric conservation (every per-tenant counter
+must sum bit-exactly to the aggregate metric of the same point)
+and matrix coverage (--min-pairs workload pairs and --min-designs
+designs with paired points).
+
 Usage:
   check_bench_regression.py --baseline BENCH_engine.json \
       --current quick1.json [quick2.json ...] \
       [--tolerance 0.15] [--relative]
+  check_bench_regression.py --colocation-json sweep.json \
+      [--min-pairs 3] [--min-designs 7]
 """
 
 import argparse
@@ -39,13 +50,83 @@ def ns_per_record(design_entry):
     return 1e9 * seconds / records
 
 
+# Per-tenant counters that must sum bit-exactly to the aggregate
+# metric of the same point (tests/test_tenant.cc proves the same
+# invariant in-process; this guards the shipped artifact).
+CONSERVED_FIELDS = [
+    "trace_records", "instructions", "llc_misses",
+    "demand_accesses", "demand_hits", "mem_latency_cycles",
+    "offchip_bytes",
+]
+
+
+def check_colocation(path, min_pairs, min_designs):
+    with open(path) as f:
+        report = json.load(f)
+    exp = report.get("experiments", {}).get("colocation")
+    if exp is None:
+        print(f"{path}: no colocation experiment in the report")
+        return 1
+    points = exp["points"]
+    pairs, designs = set(), set()
+    violations = 0
+    tenant_points = 0
+    for p in points:
+        tenants = p.get("tenants", [])
+        if not tenants:
+            print(f"{p['key']}: no per-tenant metrics")
+            violations += 1
+            continue
+        tenant_points += 1
+        if len(tenants) >= 2:
+            pairs.add(p["key"].split("/")[1])
+            designs.add(p["design"])
+        m = p["metrics"]
+        for field in CONSERVED_FIELDS:
+            total = sum(t[field] for t in tenants)
+            if total != m[field]:
+                print(f"{p['key']}: tenant {field} sum {total} "
+                      f"!= aggregate {m[field]}")
+                violations += 1
+    print(f"colocation guard: {len(points)} point(s), "
+          f"{tenant_points} with tenant metrics, "
+          f"{len(pairs)} pair(s), {len(designs)} design(s) "
+          f"with paired runs")
+    if len(pairs) < min_pairs:
+        print(f"FAIL: need >= {min_pairs} workload pairs")
+        violations += 1
+    if len(designs) < min_designs:
+        print(f"FAIL: need >= {min_designs} designs with "
+              f"paired points")
+        violations += 1
+    if violations:
+        print(f"FAIL: {violations} colocation violation(s)")
+        return 1
+    print("OK: colocation matrix complete and conserved")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--current", required=True, nargs="+")
+    ap.add_argument("--baseline")
+    ap.add_argument("--current", nargs="+", default=[])
     ap.add_argument("--tolerance", type=float, default=0.15)
     ap.add_argument("--relative", action="store_true")
+    ap.add_argument("--colocation-json")
+    ap.add_argument("--min-pairs", type=int, default=3)
+    ap.add_argument("--min-designs", type=int, default=7)
     args = ap.parse_args()
+
+    if args.baseline and not args.current:
+        ap.error("--baseline needs at least one --current run")
+    if args.colocation_json:
+        rc = check_colocation(args.colocation_json,
+                              args.min_pairs, args.min_designs)
+        if rc or not args.baseline:
+            return rc
+    elif not args.baseline:
+        ap.error("--baseline/--current or --colocation-json "
+                 "is required")
 
     with open(args.baseline) as f:
         base = json.load(f)

@@ -67,7 +67,12 @@ class CacheHierarchy
      *
      * The returned outcome carries any dirty writebacks the access
      * forced out of the hierarchy; the caller forwards LLC misses
-     * and writebacks to the memory system below.
+     * and writebacks to the memory system below. Under
+     * multi-tenant colocation the request's tenantId (and the
+     * tenant bits of its address) ride through unchanged: the
+     * L1/L2 are shared by core mapping, per-tenant attribution
+     * happens at the pod and memory-system layers, and writeback
+     * addresses still identify their owning tenant.
      */
     HierarchyOutcome access(const MemRequest &req);
 

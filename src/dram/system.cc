@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "tenant/tenant.hh"
 
 namespace fpc {
 
@@ -72,12 +73,27 @@ DramSystem::localAddr(Addr addr) const
     return (local_chunk << interleave_shift_) + offset;
 }
 
+void
+DramSystem::enableTenantAccounting(unsigned num_tenants)
+{
+    FPC_ASSERT(num_tenants > 0);
+    tenant_bytes_.assign(num_tenants, 0);
+}
+
 DramAccessResult
 DramSystem::access(Cycle when, Addr addr, bool is_write,
                    unsigned num_blocks)
 {
     FPC_ASSERT(num_blocks > 0);
     addr = blockAlign(addr);
+
+    if (!tenant_bytes_.empty()) {
+        const std::size_t t =
+            std::min<std::size_t>(tenantOfAddr(addr),
+                                  tenant_bytes_.size() - 1);
+        tenant_bytes_[t] +=
+            static_cast<std::uint64_t>(num_blocks) * kBlockBytes;
+    }
 
     DramAccessResult agg;
     agg.firstBlockReady = 0;
@@ -111,6 +127,10 @@ DramSystem::access(Cycle when, Addr addr, bool is_write,
 DramAccessResult
 DramSystem::compoundAccess(Cycle when, Addr addr, bool is_write)
 {
+    // Compound accesses exist only on stacked DRAM, whose frame
+    // addresses carry no ownership — tenant accounting must not
+    // be enabled here (see enableTenantAccounting).
+    FPC_ASSERT(tenant_bytes_.empty());
     DramChannel &ch = *channels_[channelOf(addr)];
     return ch.compoundAccess(when, localAddr(addr), is_write);
 }

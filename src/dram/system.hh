@@ -66,6 +66,31 @@ class DramSystem
      */
     void resetTiming();
 
+    /**
+     * Attribute every byte moved to the tenant owning the
+     * accessed address (tenantOfAddr; ids at or above
+     * @p num_tenants clamp to the last slot). Off by default —
+     * enabled by the pod on its *off-chip* system for
+     * multi-tenant runs, where every address is a real physical
+     * address and therefore carries its owner. Do not enable on
+     * a stacked DRAM: cache-frame addresses are geometry, not
+     * ownership.
+     *
+     * The counter increments by exactly the blocks each access()
+     * hands to the channels, so the per-tenant sum equals
+     * totalBytes() bit-exactly over any window.
+     */
+    void enableTenantAccounting(unsigned num_tenants);
+
+    /** Bytes attributed to @p tenant (0 when accounting is off). */
+    std::uint64_t
+    tenantBytes(unsigned tenant) const
+    {
+        return tenant < tenant_bytes_.size()
+                   ? tenant_bytes_[tenant]
+                   : 0;
+    }
+
     unsigned numChannels() const { return channels_.size(); }
     DramChannel &channel(unsigned i) { return *channels_[i]; }
     const DramChannel &channel(unsigned i) const
@@ -109,6 +134,8 @@ class DramSystem
     /** True when numChannels is a power of two (mask path). */
     bool channels_pow2_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
+    /** Per-tenant byte attribution (empty = accounting off). */
+    std::vector<std::uint64_t> tenant_bytes_;
 };
 
 } // namespace fpc

@@ -17,6 +17,9 @@ AlloyCache::AlloyCache(const Config &config, DramSystem &stacked,
     FPC_ASSERT(num_sets_ > 0);
     map_mask_ = config_.mapEntries - 1;
     tads_.resize(num_sets_);
+    partition_ =
+        config_.tenants.setPartition(num_sets_, kBlockShift);
+    quota_ = config_.tenants.quota(num_sets_);
     // Counters start at zero: a cold cache predicts miss, which
     // is both correct and the latency-optimal guess.
     map_.assign(config_.mapEntries, 0);
@@ -27,6 +30,8 @@ AlloyCache::AlloyCache(const Config &config, DramSystem &stacked,
     stats_.regCounter(&misses_, "misses", "TAD misses");
     stats_.regCounter(&dirty_evictions_, "dirty_evictions",
                       "dirty victim blocks written off chip");
+    stats_.regCounter(&quota_bypass_, "quota_bypasses",
+                      "fills bypassed by the tenant quota");
     stats_.regCounter(&map_correct_, "map_correct",
                       "correct MAP predictions");
     stats_.regCounter(&map_mispredicts_, "map_mispredicts",
@@ -39,22 +44,37 @@ AlloyCache::AlloyCache(const Config &config, DramSystem &stacked,
                       "LLC writebacks not absorbed");
 }
 
-void
+bool
 AlloyCache::fill(Cycle when, Addr block_addr, bool dirty)
 {
     const std::uint64_t set = setOf(block_addr);
     Tad &tad = tads_[set];
-    if (tad.valid && tad.dirty) {
-        // The victim leaves through the same TAD stream: read it
-        // from the row, write it off chip.
-        dirty_evictions_.inc();
-        if (timed()) {
-            DramAccessResult rd =
-                stacked_.access(when, tadAddr(set), false, 1);
-            offchip_.access(rd.done, tad.blockId * kBlockBytes,
-                            true, 1);
+    if (quota_.enabled()) {
+        const std::uint32_t tenant = tenantOfAddr(block_addr);
+        const std::uint32_t victim_tenant =
+            tad.valid ? tenantOfAddr(tad.blockId * kBlockBytes)
+                      : 0;
+        if (!quota_.mayFill(tenant, tad.valid, victim_tenant)) {
+            quota_bypass_.inc();
+            return false;
         }
     }
+    if (tad.valid) {
+        quota_.release(tenantOfAddr(tad.blockId * kBlockBytes));
+        if (tad.dirty) {
+            // The victim leaves through the same TAD stream: read
+            // it from the row, write it off chip.
+            dirty_evictions_.inc();
+            if (timed()) {
+                DramAccessResult rd =
+                    stacked_.access(when, tadAddr(set), false, 1);
+                offchip_.access(rd.done,
+                                tad.blockId * kBlockBytes, true,
+                                1);
+            }
+        }
+    }
+    quota_.charge(tenantOfAddr(block_addr));
     tad.blockId = blockNumber(block_addr);
     tad.valid = true;
     tad.dirty = dirty;
@@ -62,6 +82,7 @@ AlloyCache::fill(Cycle when, Addr block_addr, bool dirty)
     // tag-update access, the point of alloying.
     if (timed())
         stacked_.access(when, tadAddr(set), true, 1);
+    return true;
 }
 
 MemSystemResult
@@ -143,8 +164,10 @@ AlloyCache::writeback(Cycle now, Addr block_addr)
     }
     wb_misses_.inc();
     if (config_.allocateOnWriteback) {
-        // Full-line write: install without an off-chip fetch.
-        fill(now, block_addr, true);
+        // Full-line write: install without an off-chip fetch. A
+        // quota-bypassed install sends the write off chip instead.
+        if (!fill(now, block_addr, true) && timed())
+            offchip_.access(now, block_addr, true, 1);
     } else if (timed()) {
         offchip_.access(now, block_addr, true, 1);
     }
@@ -172,6 +195,7 @@ registerAlloyDesign(DesignRegistry &reg)
             cfg.params.getU64("alloy.map_entries", ac.mapEntries));
         ac.usePredictor =
             cfg.params.getBool("alloy.predictor", ac.usePredictor);
+        ac.tenants = TenantPartitionParams::fromParams(cfg.params);
         DesignInstance inst;
         inst.memory = std::make_unique<AlloyCache>(ac, *stacked,
                                                    offchip);

@@ -30,6 +30,7 @@
 #include "common/stats.hh"
 #include "dram/system.hh"
 #include "dramcache/interface.hh"
+#include "tenant/partition.hh"
 
 namespace fpc {
 
@@ -62,6 +63,10 @@ class AlloyCache : public MemorySystem
 
         /** Allocate blocks on LLC writebacks. */
         bool allocateOnWriteback = true;
+
+        /** Multi-tenant partitioning (tenant.* design params);
+         * units are TADs, the hash unit is the block number. */
+        TenantPartitionParams tenants;
 
         std::string name = "alloy";
     };
@@ -111,6 +116,11 @@ class AlloyCache : public MemorySystem
     {
         return dirty_evictions_.value();
     }
+    /** Fills bypassed by the tenant quota policy. */
+    std::uint64_t quotaBypasses() const
+    {
+        return quota_bypass_.value();
+    }
 
     std::uint64_t numSets() const { return num_sets_; }
     const Config &config() const { return config_; }
@@ -129,6 +139,8 @@ class AlloyCache : public MemorySystem
     {
         // Direct-mapped; the TAD count is not a power of two
         // (capacity / 72B), so index by modulo.
+        if (partition_.enabled)
+            return partition_.setOf(blockNumber(block_addr));
         return blockNumber(block_addr) % num_sets_;
     }
 
@@ -145,8 +157,11 @@ class AlloyCache : public MemorySystem
         return map_[(pc >> 2) & map_mask_];
     }
 
-    /** Install @p block_addr, evicting the resident TAD. */
-    void fill(Cycle when, Addr block_addr, bool dirty);
+    /**
+     * Install @p block_addr, evicting the resident TAD.
+     * @return false when the tenant quota bypassed the fill.
+     */
+    bool fill(Cycle when, Addr block_addr, bool dirty);
 
     Config config_;
     DramSystem &stacked_;
@@ -155,12 +170,17 @@ class AlloyCache : public MemorySystem
     std::uint32_t map_mask_;
     std::vector<Tad> tads_;
     std::vector<std::uint8_t> map_;
+    /** Per-tenant set ranges (disabled outside setpart). */
+    SetPartitionSpec partition_;
+    /** Per-tenant TAD quota (tenant.policy=quota). */
+    TenantQuota quota_;
 
     StatGroup stats_;
     Counter demand_accesses_;
     Counter hits_;
     Counter misses_;
     Counter dirty_evictions_;
+    Counter quota_bypass_;
     Counter map_correct_;
     Counter map_mispredicts_;
     Counter wasted_offchip_;

@@ -27,6 +27,8 @@ BansheeCache::BansheeCache(const Config &config,
     sample_mask_ = (std::uint64_t{1} << config_.sampleShift) - 1;
     tb_set_mask_ =
         config_.tagBufferEntries / config_.tagBufferAssoc - 1;
+    partition_ = config_.tenants.setPartition(sets_, page_shift_);
+    quota_ = config_.tenants.quota(frames_);
     ways_.resize(frames_);
     cand_.resize(sets_);
     tagbuf_.resize(config_.tagBufferEntries);
@@ -37,6 +39,9 @@ BansheeCache::BansheeCache(const Config &config,
     stats_.regCounter(&misses_, "misses", "block misses");
     stats_.regCounter(&bypassed_misses_, "bypassed_misses",
                       "misses served off chip without a fill");
+    stats_.regCounter(&quota_bypass_, "quota_bypasses",
+                      "page installs bypassed by the tenant "
+                      "quota");
     stats_.regCounter(&fills_, "page_fills",
                       "whole-page installs");
     stats_.regCounter(&replacements_, "replacements",
@@ -174,13 +179,23 @@ BansheeCache::markMappingDirty(Cycle when, Addr page_id)
     installTagBuf(when, page_id, true);
 }
 
-void
+bool
 BansheeCache::installPage(Cycle when, Addr page_id,
                           std::uint64_t set, unsigned way,
                           std::uint32_t freq)
 {
     Way &w = ways_[set * config_.assoc + way];
+    if (quota_.enabled()) {
+        const std::uint32_t tenant = pageTenant(page_id);
+        const std::uint32_t victim_tenant =
+            w.valid ? pageTenant(w.pageId) : 0;
+        if (!quota_.mayFill(tenant, w.valid, victim_tenant)) {
+            quota_bypass_.inc();
+            return false;
+        }
+    }
     if (w.valid) {
+        quota_.release(pageTenant(w.pageId));
         replacements_.inc();
         const unsigned dirty = w.dirty.count();
         if (dirty > 0) {
@@ -196,6 +211,7 @@ BansheeCache::installPage(Cycle when, Addr page_id,
         markMappingDirty(when, w.pageId);
     }
 
+    quota_.charge(pageTenant(page_id));
     // Whole-page fill: off-chip reads plus in-cache writes, both
     // charged as fill bandwidth.
     fills_.inc();
@@ -213,6 +229,7 @@ BansheeCache::installPage(Cycle when, Addr page_id,
     w.valid = true;
     w.dirty.reset();
     markMappingDirty(when, page_id);
+    return true;
 }
 
 void
@@ -221,10 +238,11 @@ BansheeCache::considerFill(Cycle when, Addr page_id,
 {
     const std::size_t base = set * config_.assoc;
 
-    // Cold sets fill unconditionally.
+    // Cold sets fill unconditionally (quota permitting).
     for (unsigned w = 0; w < config_.assoc; ++w) {
         if (!ways_[base + w].valid) {
-            installPage(when, page_id, set, w, 1);
+            if (!installPage(when, page_id, set, w, 1))
+                bypassed_misses_.inc();
             return;
         }
     }
@@ -244,7 +262,8 @@ BansheeCache::considerFill(Cycle when, Addr page_id,
             const std::uint32_t freq = c.freq;
             c.valid = false;
             c.freq = 0;
-            installPage(when, page_id, set, victim, freq);
+            if (!installPage(when, page_id, set, victim, freq))
+                bypassed_misses_.inc();
             return;
         }
     } else if (!c.valid) {
@@ -362,6 +381,7 @@ registerBansheeDesign(DesignRegistry &reg)
         bc.sampleShift = static_cast<unsigned>(
             cfg.params.getU64("banshee.sample_shift",
                               bc.sampleShift));
+        bc.tenants = TenantPartitionParams::fromParams(cfg.params);
         DesignInstance inst;
         inst.memory = std::make_unique<BansheeCache>(bc, *stacked,
                                                      offchip);

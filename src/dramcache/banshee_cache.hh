@@ -31,6 +31,7 @@
 #include "common/stats.hh"
 #include "dram/system.hh"
 #include "dramcache/interface.hh"
+#include "tenant/partition.hh"
 
 namespace fpc {
 
@@ -71,6 +72,11 @@ class BansheeCache : public MemorySystem
 
         /** Saturation ceiling; hitting it halves the set. */
         std::uint32_t freqMax = 15;
+
+        /** Multi-tenant partitioning (tenant.* design params);
+         * units are page frames, the hash unit is the page id.
+         * The SRAM tag buffer stays shared under every policy. */
+        TenantPartitionParams tenants;
 
         std::string name = "banshee";
     };
@@ -128,6 +134,11 @@ class BansheeCache : public MemorySystem
     {
         return replacements_.value();
     }
+    /** Page installs bypassed by the tenant quota policy. */
+    std::uint64_t quotaBypasses() const
+    {
+        return quota_bypass_.value();
+    }
 
     /* Tag-buffer / lazy-update detail. */
     std::uint64_t tagBufferHits() const { return tb_hits_.value(); }
@@ -176,7 +187,16 @@ class BansheeCache : public MemorySystem
     std::uint64_t
     setOf(Addr page_id) const
     {
+        if (partition_.enabled)
+            return partition_.setOf(page_id);
         return page_id & (sets_ - 1);
+    }
+
+    /** Owning tenant of a page id (tenant bits ride up high). */
+    std::uint32_t
+    pageTenant(Addr page_id) const
+    {
+        return tenantOfPageId(page_id, page_shift_);
     }
 
     std::uint64_t
@@ -230,8 +250,11 @@ class BansheeCache : public MemorySystem
     void considerFill(Cycle when, Addr page_id,
                       std::uint64_t set);
 
-    /** Whole-page fill into (set, way), evicting the resident. */
-    void installPage(Cycle when, Addr page_id, std::uint64_t set,
+    /**
+     * Whole-page fill into (set, way), evicting the resident.
+     * @return false when the tenant quota bypassed the install.
+     */
+    bool installPage(Cycle when, Addr page_id, std::uint64_t set,
                      unsigned way, std::uint32_t freq);
 
     Config config_;
@@ -249,12 +272,17 @@ class BansheeCache : public MemorySystem
     std::vector<TagBufEntry> tagbuf_;
     std::uint64_t tb_tick_ = 0;
     std::uint32_t tb_dirty_ = 0;
+    /** Per-tenant set ranges (disabled outside setpart). */
+    SetPartitionSpec partition_;
+    /** Per-tenant frame quota (tenant.policy=quota). */
+    TenantQuota quota_;
 
     StatGroup stats_;
     Counter demand_accesses_;
     Counter hits_;
     Counter misses_;
     Counter bypassed_misses_;
+    Counter quota_bypass_;
     Counter fills_;
     Counter replacements_;
     Counter fill_blocks_written_;

@@ -18,6 +18,10 @@ BlockCache::BlockCache(const Config &config, DramSystem &stacked,
     set_mask_ = num_sets_ - 1;
     row_shift_ = floorLog2(config_.rowBytes);
     ways_.resize(num_sets_ * config_.dataBlocksPerRow);
+    partition_ =
+        config_.tenants.setPartition(num_sets_, kBlockShift);
+    quota_ = config_.tenants.quota(
+        num_sets_ * config_.dataBlocksPerRow);
 
     stats_.regCounter(&demand_accesses_, "demand_accesses",
                       "LLC misses served");
@@ -25,6 +29,8 @@ BlockCache::BlockCache(const Config &config, DramSystem &stacked,
     stats_.regCounter(&misses_, "misses", "block misses");
     stats_.regCounter(&dirty_evictions_, "dirty_evictions",
                       "dirty victim blocks written off chip");
+    stats_.regCounter(&quota_bypass_, "quota_bypasses",
+                      "fills bypassed by the tenant quota");
     stats_.regCounter(&mm_evictions_, "missmap_evictions",
                       "MissMap entries displaced");
     stats_.regCounter(&mm_flushed_, "missmap_flushed_blocks",
@@ -57,6 +63,7 @@ BlockCache::evictWay(Cycle when, std::uint64_t set, Way &way)
 {
     FPC_ASSERT(way.valid);
     const Addr block_addr = way.blockId * kBlockBytes;
+    quota_.release(tenantOfAddr(block_addr));
     if (way.dirty) {
         dirty_evictions_.inc();
         if (timed()) {
@@ -101,6 +108,7 @@ BlockCache::flushSegment(Cycle when, const MissMap::Victim &victim)
             if (!way.valid || way.blockId != block_id)
                 continue;
             mm_flushed_.inc();
+            quota_.release(tenantOfAddr(block_addr));
             if (way.dirty) {
                 dirty_evictions_.inc();
                 if (timed()) {
@@ -120,7 +128,7 @@ BlockCache::flushSegment(Cycle when, const MissMap::Victim &victim)
     }
 }
 
-void
+bool
 BlockCache::fillBlock(Cycle when, Addr block_addr, bool dirty)
 {
     const std::uint64_t set = setOf(block_addr);
@@ -142,8 +150,21 @@ BlockCache::fillBlock(Cycle when, Addr block_addr, bool dirty)
         }
     }
     Way &way = ways_[base + victim_way];
+    if (quota_.enabled()) {
+        const std::uint32_t tenant = tenantOfAddr(block_addr);
+        const std::uint32_t victim_tenant =
+            found_invalid
+                ? 0
+                : tenantOfAddr(way.blockId * kBlockBytes);
+        if (!quota_.mayFill(tenant, !found_invalid,
+                            victim_tenant)) {
+            quota_bypass_.inc();
+            return false;
+        }
+    }
     if (!found_invalid)
         evictWay(when, set, way);
+    quota_.charge(tenantOfAddr(block_addr));
 
     way.blockId = blockNumber(block_addr);
     way.valid = true;
@@ -169,6 +190,7 @@ BlockCache::fillBlock(Cycle when, Addr block_addr, bool dirty)
     MissMap::Victim mm_victim;
     missmap_.setBit(block_addr, mm_victim);
     flushSegment(when, mm_victim);
+    return true;
 }
 
 MemSystemResult
@@ -219,8 +241,10 @@ BlockCache::writeback(Cycle now, Addr block_addr)
     }
     wb_misses_.inc();
     if (config_.allocateOnWriteback) {
-        // Full-line write: install without an off-chip fetch.
-        fillBlock(t, block_addr, true);
+        // Full-line write: install without an off-chip fetch. A
+        // quota-bypassed install sends the write off chip instead.
+        if (!fillBlock(t, block_addr, true) && timed())
+            offchip_.access(t, block_addr, true, 1);
     } else if (timed()) {
         offchip_.access(t, block_addr, true, 1);
     }

@@ -22,6 +22,7 @@
 #include "dram/system.hh"
 #include "dramcache/interface.hh"
 #include "dramcache/missmap.hh"
+#include "tenant/partition.hh"
 
 namespace fpc {
 
@@ -47,6 +48,10 @@ class BlockCache : public MemorySystem
 
         /** Allocate blocks on LLC writebacks. */
         bool allocateOnWriteback = true;
+
+        /** Multi-tenant partitioning (tenant.* design params);
+         * units are blocks, the hash unit is the block number. */
+        TenantPartitionParams tenants;
 
         std::string name = "block";
     };
@@ -91,6 +96,11 @@ class BlockCache : public MemorySystem
     {
         return dirty_evictions_.value();
     }
+    /** Fills bypassed by the tenant quota policy. */
+    std::uint64_t quotaBypasses() const
+    {
+        return quota_bypass_.value();
+    }
 
     /** Data capacity excluding in-row tags. */
     std::uint64_t
@@ -115,6 +125,8 @@ class BlockCache : public MemorySystem
     std::uint64_t
     setOf(Addr block_addr) const
     {
+        if (partition_.enabled)
+            return partition_.setOf(blockNumber(block_addr));
         return blockNumber(block_addr) & set_mask_;
     }
 
@@ -127,8 +139,11 @@ class BlockCache : public MemorySystem
 
     Way *findWay(Addr block_addr, bool touch);
 
-    /** Install @p block_addr into its set; evicts LRU if needed. */
-    void fillBlock(Cycle when, Addr block_addr, bool dirty);
+    /**
+     * Install @p block_addr into its set; evicts LRU if needed.
+     * @return false when the tenant quota bypassed the fill.
+     */
+    bool fillBlock(Cycle when, Addr block_addr, bool dirty);
 
     /** Evict one way (victim handling + MissMap bit clear). */
     void evictWay(Cycle when, std::uint64_t set, Way &way);
@@ -147,12 +162,17 @@ class BlockCache : public MemorySystem
     unsigned row_shift_;
     std::uint64_t tick_ = 0;
     std::vector<Way> ways_;
+    /** Per-tenant set ranges (disabled outside setpart). */
+    SetPartitionSpec partition_;
+    /** Per-tenant block quota (tenant.policy=quota). */
+    TenantQuota quota_;
 
     StatGroup stats_;
     Counter demand_accesses_;
     Counter hits_;
     Counter misses_;
     Counter dirty_evictions_;
+    Counter quota_bypass_;
     Counter mm_evictions_;
     Counter mm_flushed_;
     Counter wb_hits_;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "dramcache/simple_memories.hh"
+#include "tenant/partition.hh"
 
 namespace fpc {
 
@@ -210,6 +211,7 @@ buildPageOrganized(const DesignConfig &cfg, DramSystem *stacked,
     FootprintCache::Config fc;
     fc.tags.capacityBytes = cfg.capacityBytes();
     fc.tags.pageBytes = cfg.pageBytes;
+    fc.tags.tenants = TenantPartitionParams::fromParams(cfg.params);
     fc.fht.entries = cfg.fhtEntries;
     fc.fht.index = cfg.predictorIndex;
     fc.fht.train = cfg.fhtTrain;
@@ -269,6 +271,8 @@ registerPaperDesigns(DesignRegistry &reg)
             bc.missMap = missMapConfig(cfg.capacityMb);
             bc.missMapLatencyCycles =
                 missMapLatencyCycles(cfg.capacityMb);
+            bc.tenants =
+                TenantPartitionParams::fromParams(cfg.params);
             DesignInstance inst;
             auto cache = std::make_unique<BlockCache>(
                 bc, *stacked, offchip);

@@ -12,7 +12,9 @@ FootprintCache::FootprintCache(const Config &config,
     : config_(config), page_shift_(floorLog2(config.tags.pageBytes)),
       offset_mask_(config.tags.pageBytes / kBlockBytes - 1),
       stacked_(stacked), offchip_(offchip), tags_(config.tags),
-      fht_(config.fht), st_(config.st), stats_(config.name)
+      fht_(config.fht), st_(config.st),
+      quota_(config.tags.tenants.quota(tags_.numFrames())),
+      stats_(config.name)
 {
     FPC_ASSERT(isPowerOf2(config_.tags.pageBytes));
     stats_.regCounter(&demand_accesses_, "demand_accesses",
@@ -25,6 +27,9 @@ FootprintCache::FootprintCache(const Config &config,
                       "block misses within a resident page");
     stats_.regCounter(&singleton_bypass_, "singleton_bypasses",
                       "pages bypassed as singletons (§4.4)");
+    stats_.regCounter(&quota_bypass_, "quota_bypasses",
+                      "triggering misses bypassed by the tenant "
+                      "quota");
     stats_.regCounter(&singleton_recover_, "singleton_recoveries",
                       "ST-detected singleton underpredictions");
     stats_.regCounter(&page_evictions_, "page_evictions",
@@ -109,6 +114,18 @@ FootprintCache::evictPage(const PageTagArray::Victim &victim,
     }
 }
 
+bool
+FootprintCache::quotaAllows(const MemRequest &req) const
+{
+    if (!quota_.enabled())
+        return true;
+    const PageTagEntry *victim =
+        tags_.peekVictim(pageIdOf(req.paddr));
+    return quota_.mayFill(req.tenantId, victim != nullptr,
+                          victim ? pageTenant(victim->pageId)
+                                 : 0);
+}
+
 Cycle
 FootprintCache::allocateAndFill(Cycle when, const MemRequest &req,
                                 unsigned offset,
@@ -117,8 +134,11 @@ FootprintCache::allocateAndFill(Cycle when, const MemRequest &req,
 {
     PageTagArray::Victim victim;
     PageTagEntry *entry = tags_.allocate(pageIdOf(req.paddr), victim);
-    if (victim.valid)
+    if (victim.valid) {
+        quota_.release(pageTenant(victim.pageId));
         evictPage(victim, when);
+    }
+    quota_.charge(req.tenantId);
 
     entry->predicted = predicted;
     entry->fht = ref;
@@ -208,6 +228,22 @@ FootprintCache::access(Cycle now, const MemRequest &req)
 
     // Triggering miss (§4.2).
     trig_misses_.inc();
+
+    // Tenant quota: a tenant at its frame quota whose allocation
+    // would displace another tenant's page bypasses the cache
+    // entirely (no FHT/ST interaction), like a singleton bypass
+    // without the ST insert. The enabled() check keeps the
+    // victim peek off the single-tenant path.
+    if (quota_.enabled() && !quotaAllows(req)) {
+        quota_bypass_.inc();
+        blocks_fetched_.inc();
+        if (!timed())
+            return {t, false};
+        DramAccessResult off =
+            offchip_.access(t, blockAlign(req.paddr), false, 1);
+        return {off.firstBlockReady, false};
+    }
+
     FhtRef ref;
     bool fht_trained = false;
     BlockBitmap predicted = predictFootprint(req, offset, ref,

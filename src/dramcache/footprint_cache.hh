@@ -121,6 +121,11 @@ class FootprintCache : public MemorySystem
     {
         return singleton_bypass_.value();
     }
+    /** Triggering misses bypassed by the tenant quota policy. */
+    std::uint64_t quotaBypasses() const
+    {
+        return quota_bypass_.value();
+    }
     std::uint64_t singletonRecoveries() const
     {
         return singleton_recover_.value();
@@ -175,6 +180,16 @@ class FootprintCache : public MemorySystem
                                           1);
     }
 
+    /** Owning tenant of a page id (tenant bits ride up high). */
+    std::uint32_t
+    pageTenant(Addr page_id) const
+    {
+        return tenantOfPageId(page_id, page_shift_);
+    }
+
+    /** May @p req allocate a frame under the tenant quota? */
+    bool quotaAllows(const MemRequest &req) const;
+
     /** Predicted footprint for a triggering miss. */
     BlockBitmap predictFootprint(const MemRequest &req,
                                  unsigned offset, FhtRef &ref_out,
@@ -202,6 +217,8 @@ class FootprintCache : public MemorySystem
     PageTagArray tags_;
     FootprintHistoryTable fht_;
     SingletonTable st_;
+    /** Per-tenant frame quota (tenant.policy=quota). */
+    TenantQuota quota_;
 
     StatGroup stats_;
     Counter demand_accesses_;
@@ -209,6 +226,7 @@ class FootprintCache : public MemorySystem
     Counter trig_misses_;
     Counter underpred_misses_;
     Counter singleton_bypass_;
+    Counter quota_bypass_;
     Counter singleton_recover_;
     Counter page_evictions_;
     Counter dirty_evictions_;

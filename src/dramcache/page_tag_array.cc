@@ -18,6 +18,7 @@ PageTagArray::PageTagArray(const Config &config) : config_(config)
     FPC_ASSERT(isPowerOf2(sets_));
     blocks_per_page_ = config_.pageBytes / kBlockBytes;
     page_shift_ = floorLog2(config_.pageBytes);
+    partition_ = config_.tenants.setPartition(sets_, page_shift_);
     entries_.resize(frames_);
     keys_.assign(frames_, kNoPage);
 }
@@ -78,6 +79,24 @@ PageTagArray::allocate(Addr page_id, Victim &victim)
     e.fht = FhtRef{};
     keys_[base + way] = page_id;
     return &e;
+}
+
+const PageTagEntry *
+PageTagArray::peekVictim(Addr page_id) const
+{
+    const std::size_t base = setOf(page_id) * config_.assoc;
+    unsigned way = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        const PageTagEntry &e = entries_[base + w];
+        if (!e.valid)
+            return nullptr;
+        if (e.lastUse < oldest) {
+            oldest = e.lastUse;
+            way = w;
+        }
+    }
+    return &entries_[base + way];
 }
 
 std::uint64_t

@@ -17,6 +17,7 @@
 
 #include "common/types.hh"
 #include "dramcache/block_state.hh"
+#include "tenant/partition.hh"
 
 namespace fpc {
 
@@ -65,6 +66,14 @@ class PageTagArray
 
         /** Associativity of the tag array. */
         unsigned assoc = 16;
+
+        /**
+         * Multi-tenant partitioning (tenant.* design params).
+         * Under the setpart policy each tenant indexes only its
+         * contiguous slice of the sets; quota accounting lives
+         * in the owning cache, not here.
+         */
+        TenantPartitionParams tenants;
     };
 
     explicit PageTagArray(const Config &config);
@@ -133,6 +142,14 @@ class PageTagArray
      */
     PageTagEntry *allocate(Addr page_id, Victim &victim);
 
+    /**
+     * The entry allocate(@p page_id) would displace right now, or
+     * nullptr when its set still has a free way. Same selection
+     * rule as allocate (first invalid way, else LRU), no side
+     * effects — lets quota policies decide before committing.
+     */
+    const PageTagEntry *peekVictim(Addr page_id) const;
+
     /** Frame index of an entry (set * assoc + way). */
     std::uint64_t frameIndex(const PageTagEntry *entry) const;
 
@@ -170,12 +187,16 @@ class PageTagArray
     std::uint64_t
     setOf(Addr page_id) const
     {
+        if (partition_.enabled)
+            return partition_.setOf(page_id);
         return page_id & (sets_ - 1);
     }
 
     Config config_;
     std::uint64_t frames_;
     std::uint64_t sets_;
+    /** Per-tenant set ranges (disabled outside setpart). */
+    SetPartitionSpec partition_;
     unsigned blocks_per_page_;
     /** floorLog2(pageBytes), for frameAddr. */
     unsigned page_shift_;

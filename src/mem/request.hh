@@ -33,6 +33,16 @@ struct MemRequest
 
     /** Issuing core, [0, numCores). */
     std::uint16_t coreId = 0;
+
+    /**
+     * Owning tenant under multi-tenant colocation (0 for every
+     * single-tenant run). Stamped by the TenantMixSource together
+     * with the tenant's address-space base, so tenantId always
+     * equals tenantOfAddr(paddr); it rides the request through
+     * the CacheHierarchy into the MemorySystem so per-tenant
+     * attribution never re-derives it from the address.
+     */
+    std::uint16_t tenantId = 0;
 };
 
 /** One entry of an execution trace. */

@@ -53,6 +53,16 @@ class TraceSource
     /** Consume @p n records previously exposed by acquire(). */
     virtual void skip(std::size_t n) { (void)n; }
 
+    /**
+     * True when a span exposed by acquire() may be consumed on
+     * behalf of *any* core, not just the one that acquired it —
+     * the single-stream sources qualify; core-routed sources (the
+     * TenantMixSource) do not, and consumers must then dispatch
+     * per record via next()/per-core acquire+skip instead of
+     * riding one span across cores.
+     */
+    virtual bool coreAgnostic() const { return true; }
+
     /** Restart the stream from the beginning (if supported). */
     virtual void reset() {}
 };

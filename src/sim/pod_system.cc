@@ -15,6 +15,14 @@ PodSystem::PodSystem(const PodConfig &config, TraceSource &trace,
 {
     FPC_ASSERT(config_.numCores == config_.hierarchy.numCores);
     FPC_ASSERT(config_.coreIpc > 0.0);
+    if (config_.numTenants > 0) {
+        tenant_totals_.resize(config_.numTenants);
+        // Off-chip addresses always carry their owner (real
+        // physical addresses in every design), so byte-exact
+        // per-tenant traffic attribution lives in the DRAM
+        // system itself.
+        offchip_.enableTenantAccounting(config_.numTenants);
+    }
 }
 
 PodSystem::Snapshot
@@ -37,6 +45,11 @@ PodSystem::capture(Cycle now) const
         s.stackedActs = stacked_->totalActivates();
         s.stackedActPreNj = stacked_->totalActPreEnergyNj();
         s.stackedBurstNj = stacked_->totalBurstEnergyNj();
+    }
+    if (!tenant_totals_.empty()) {
+        s.tenants = tenant_totals_;
+        for (unsigned t = 0; t < s.tenants.size(); ++t)
+            s.tenants[t].offchipBytes = offchip_.tenantBytes(t);
     }
     return s;
 }
@@ -88,6 +101,14 @@ PodSystem::runWarmup(std::uint64_t warmup_refs)
     unsigned mem_head = 0;
     unsigned mem_count = 0;
 
+    auto noteDemand = [&](const MemRequest &req,
+                          const MemSystemResult &res) {
+        if (tenant_totals_.empty())
+            return;
+        TenantMetrics &tm = tenant_totals_[req.tenantId];
+        ++tm.demandAccesses;
+        tm.demandHits += res.cacheHit ? 1 : 0;
+    };
     auto drainOne = [&]() {
         const PendingMemOp &op = memq[mem_head];
         mem_head = (mem_head + 1) & (kMemQueue - 1);
@@ -101,10 +122,11 @@ PodSystem::runWarmup(std::uint64_t warmup_refs)
                 config_.coreIpc);
             const Cycle issue = clock[op_core] + compute + l1l2;
             MemSystemResult res = memory_.access(issue, op.req);
+            noteDemand(op.req, res);
             clock[op_core] =
                 op.req.op == MemOp::Read ? res.doneAt : issue;
         } else {
-            memory_.access(0, op.req);
+            noteDemand(op.req, memory_.access(0, op.req));
         }
     };
     auto enqueue = [&](const PendingMemOp &op) {
@@ -125,6 +147,12 @@ PodSystem::runWarmup(std::uint64_t warmup_refs)
         total_instructions_ += rec.computeGap + 1;
 
         HierarchyOutcome out = hierarchy_.access(rec.req);
+        if (!tenant_totals_.empty()) {
+            TenantMetrics &tm = tenant_totals_[rec.req.tenantId];
+            ++tm.traceRecords;
+            tm.instructions += rec.computeGap + 1;
+            tm.llcMisses += out.llcMiss() ? 1 : 0;
+        }
         if (!out.l1Hit && !out.l2Hit) {
             PendingMemOp op;
             op.req = rec.req;
@@ -335,6 +363,9 @@ PodSystem::runMeasure(std::uint64_t measure_refs)
     // calls per record on the hottest loop). The consumed prefix
     // is skip()ped when the span drains and on exit, keeping the
     // source position exact for subsequent run() calls.
+    // Core-routed sources (a tenant mix) must not ride one span
+    // across cores; they dispatch per record via next().
+    const bool agnostic = trace_.coreAgnostic();
     TraceRecord *span = nullptr;
     std::size_t span_len = 0;
     std::size_t span_pos = 0;
@@ -345,7 +376,10 @@ PodSystem::runMeasure(std::uint64_t measure_refs)
         now = std::max(now, when);
 
         TraceRecord rec;
-        if (span_pos < span_len) {
+        if (!agnostic) {
+            if (!trace_.next(core, rec))
+                continue; // Tenant stream exhausted or idle core.
+        } else if (span_pos < span_len) {
             rec = span[span_pos++];
         } else {
             if (span_pos > 0) {
@@ -373,6 +407,13 @@ PodSystem::runMeasure(std::uint64_t measure_refs)
         Cycle ready_at;
         bool long_miss = false;
         HierarchyOutcome out = hierarchy_.access(rec.req);
+        TenantMetrics *tm = nullptr;
+        if (!tenant_totals_.empty()) {
+            tm = &tenant_totals_[rec.req.tenantId];
+            ++tm->traceRecords;
+            tm->instructions += rec.computeGap + 1;
+            tm->llcMisses += out.llcMiss() ? 1 : 0;
+        }
         const bool is_load = rec.req.op == MemOp::Read;
         if (out.l1Hit) {
             ready_at = issue_at + config_.l1HitLatency;
@@ -388,6 +429,13 @@ PodSystem::runMeasure(std::uint64_t measure_refs)
             ready_at = res.doneAt;
             if (res.doneAt > mem_issue)
                 total_mem_latency_ += res.doneAt - mem_issue;
+            if (tm) {
+                ++tm->demandAccesses;
+                tm->demandHits += res.cacheHit ? 1 : 0;
+                if (res.doneAt > mem_issue)
+                    tm->memLatencyCycles +=
+                        res.doneAt - mem_issue;
+            }
             long_miss = true;
         }
         // Dirty evictions forced out of the L2 go to memory.
@@ -474,6 +522,20 @@ PodSystem::run(std::uint64_t warmup_refs,
     m.offchipBurstNj = end.offchipBurstNj - start.offchipBurstNj;
     m.stackedActPreNj = end.stackedActPreNj - start.stackedActPreNj;
     m.stackedBurstNj = end.stackedBurstNj - start.stackedBurstNj;
+    m.tenants.resize(end.tenants.size());
+    for (std::size_t t = 0; t < end.tenants.size(); ++t) {
+        TenantMetrics &tm = m.tenants[t];
+        const TenantMetrics &e = end.tenants[t];
+        const TenantMetrics &s = start.tenants[t];
+        tm.traceRecords = e.traceRecords - s.traceRecords;
+        tm.instructions = e.instructions - s.instructions;
+        tm.llcMisses = e.llcMisses - s.llcMisses;
+        tm.demandAccesses = e.demandAccesses - s.demandAccesses;
+        tm.demandHits = e.demandHits - s.demandHits;
+        tm.memLatencyCycles =
+            e.memLatencyCycles - s.memLatencyCycles;
+        tm.offchipBytes = e.offchipBytes - s.offchipBytes;
+    }
     return m;
 }
 

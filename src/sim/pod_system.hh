@@ -41,6 +41,7 @@
 #include "mem/materialized_trace.hh"
 #include "mem/trace.hh"
 #include "mem/trace_cache.hh"
+#include "tenant/tenant.hh"
 
 namespace fpc {
 
@@ -83,6 +84,17 @@ struct PodConfig
      */
     bool allTimedWarmup = false;
 
+    /**
+     * Tenants co-scheduled on this pod (multi-tenant colocation).
+     * 0 (the default) disables per-tenant attribution entirely —
+     * zero overhead and byte-identical reports for single-tenant
+     * runs. When set, MemRequest::tenantId must stay below it
+     * (the TenantMixSource guarantees this), RunMetrics::tenants
+     * carries one TenantMetrics per tenant, and the pod enables
+     * tenant byte accounting on the off-chip DRAM.
+     */
+    unsigned numTenants = 0;
+
     CacheHierarchy::Config hierarchy =
         CacheHierarchy::Config::scaleOutPod();
 };
@@ -116,6 +128,13 @@ struct RunMetrics
     double offchipBurstNj = 0.0;
     double stackedActPreNj = 0.0;
     double stackedBurstNj = 0.0;
+
+    /**
+     * Per-tenant slices of this window (PodConfig::numTenants
+     * entries; empty for single-tenant runs). Every field sums
+     * bit-exactly to the corresponding aggregate above.
+     */
+    std::vector<TenantMetrics> tenants;
 
     /** Average memory-system latency per demand access. */
     double
@@ -299,6 +318,7 @@ class PodSystem
         double offchipBurstNj = 0.0;
         double stackedActPreNj = 0.0;
         double stackedBurstNj = 0.0;
+        std::vector<TenantMetrics> tenants;
     };
 
     Snapshot capture(Cycle now) const;
@@ -324,6 +344,13 @@ class PodSystem
     std::uint64_t total_records_ = 0;
     /** Summed demand-access latency (timing loop only). */
     std::uint64_t total_mem_latency_ = 0;
+
+    /**
+     * Running per-tenant totals (numTenants entries; empty when
+     * tenant attribution is off). offchipBytes is owned by the
+     * off-chip DramSystem and merged in at capture().
+     */
+    std::vector<TenantMetrics> tenant_totals_;
 };
 
 } // namespace fpc

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -69,7 +70,14 @@ parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
         opts.scale = 0.1;
     } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
         opts.scale = std::atof(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+    } else if ((!std::strcmp(argv[i], "--seed") ||
+                !std::strcmp(argv[i], "--base-seed")) &&
+               i + 1 < argc) {
+        // --base-seed is the explicit alias: it names what the
+        // value is (the base of every trace-identity seed), so
+        // interference runs can be replicated under different
+        // seeds without recompiling. Trace identities include
+        // the seed — changing it regenerates every trace.
         opts.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--workload") &&
                i + 1 < argc) {
@@ -95,7 +103,8 @@ parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
 }
 
 const char *kCommonFlagsUsage =
-    "[--quick] [--scale F] [--seed N] [--workload NAME] "
+    "[--quick] [--scale F] [--seed N | --base-seed N] "
+    "[--workload NAME] "
     "[--jobs N] [--no-trace-cache] [--trace-cache-mb N] "
     "[--time] [--time-out FILE]";
 
@@ -115,6 +124,20 @@ checkWorkloadFilter(const SweepOptions &opts)
 bool
 writeTextFile(const std::string &path, const std::string &content)
 {
+    // Create missing parent directories: `--out runs/x/y.json`
+    // must not burn a whole sweep and then fail at write time.
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create %s: %s\n",
+                         parent.c_str(),
+                         ec.message().c_str());
+            return false;
+        }
+    }
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -161,25 +184,39 @@ ExperimentPoint::key() const
 }
 
 std::uint64_t
+traceIdentitySeed(WorkloadKind workload, unsigned page_bytes,
+                  std::uint64_t base_seed)
+{
+    std::string id = workloadName(workload);
+    id += "/";
+    id += std::to_string(page_bytes);
+    return fnv1a(id) ^ mix64(base_seed);
+}
+
+std::string
+traceIdentityKey(WorkloadKind workload, unsigned page_bytes,
+                 std::uint64_t base_seed)
+{
+    std::string key = workloadName(workload);
+    key += "/";
+    key += std::to_string(page_bytes);
+    key += "/";
+    key += std::to_string(base_seed);
+    return key;
+}
+
+std::uint64_t
 ExperimentPoint::traceSeed() const
 {
     // Trace identity only: points differing in organization,
     // capacity or any predictor knob replay the same trace.
-    std::string id = workloadName(workload);
-    id += "/";
-    id += std::to_string(cfg.pageBytes);
-    return fnv1a(id) ^ mix64(baseSeed);
+    return traceIdentitySeed(workload, cfg.pageBytes, baseSeed);
 }
 
 std::string
 ExperimentPoint::traceKey() const
 {
-    std::string key = workloadName(workload);
-    key += "/";
-    key += std::to_string(cfg.pageBytes);
-    key += "/";
-    key += std::to_string(baseSeed);
-    return key;
+    return traceIdentityKey(workload, cfg.pageBytes, baseSeed);
 }
 
 std::uint64_t
@@ -444,8 +481,12 @@ SweepRunner::run(const std::vector<ExperimentPoint> &points) const
             // entry's eager release until the LRU budget acts.
             cache->plan("trace/" + p.traceKey(),
                         p.standardRecords());
+            // Identities a custom run function acquires beyond
+            // its own (a colocation mix's other tenants).
+            for (const auto &[key, records] : p.extraTraceNeeds)
+                cache->plan(key, records);
             const std::uint64_t warm = p.warmupWindow();
-            if (warmupArtifactEligible(p, warm))
+            if (!p.inBandWarmup && warmupArtifactEligible(p, warm))
                 cache->plan(warmupArtifactKey(p, warm), warm);
         }
     }
@@ -596,6 +637,35 @@ appendPoint(std::string &out, const ExperimentPoint &p,
               "\"stacked_energy_nj\": %.3f}",
               m.offchipActPreNj + m.offchipBurstNj,
               m.stackedActPreNj + m.stackedBurstNj);
+    if (!m.tenants.empty()) {
+        // Per-tenant attribution (multi-tenant colocation): raw
+        // counters plus the derived hit ratio and latency the
+        // interference matrix plots. Every counter sums to the
+        // aggregate metric above (tests/test_tenant.cc).
+        out += ",\n         \"tenants\": [";
+        for (std::size_t t = 0; t < m.tenants.size(); ++t) {
+            const TenantMetrics &tm = m.tenants[t];
+            out += t ? ",\n           " : "\n           ";
+            appendFmt(out,
+                      "{\"tenant\": %zu, \"trace_records\": "
+                      "%" PRIu64 ", \"instructions\": %" PRIu64
+                      ", \"llc_misses\": %" PRIu64
+                      ", \"demand_accesses\": %" PRIu64
+                      ", \"demand_hits\": %" PRIu64 ",\n",
+                      t, tm.traceRecords, tm.instructions,
+                      tm.llcMisses, tm.demandAccesses,
+                      tm.demandHits);
+            appendFmt(out,
+                      "            \"hit_ratio\": %.6f, "
+                      "\"mem_latency_cycles\": %" PRIu64
+                      ", \"avg_latency_cycles\": %.6f, "
+                      "\"offchip_bytes\": %" PRIu64 "}",
+                      tm.hitRatio(), tm.memLatencyCycles,
+                      tm.avgAccessLatencyCycles(),
+                      tm.offchipBytes);
+        }
+        out += "\n         ]";
+    }
     if (r.hasFootprint) {
         appendFmt(out,
                   ",\n         \"footprint\": {\"covered\": "

@@ -126,11 +126,33 @@ extern const char *kCommonFlagsUsage;
 bool checkWorkloadFilter(const SweepOptions &opts);
 
 /**
- * Write @p content to @p path; prints to stderr and returns
- * false on failure.
+ * Write @p content to @p path, creating missing parent
+ * directories first; prints to stderr and returns false on
+ * failure.
  */
 bool writeTextFile(const std::string &path,
                    const std::string &content);
+
+/**
+ * Workload RNG seed of one trace identity: a hash of the
+ * identity's name (workload, page size) mixed with the user's
+ * base seed — the same seed every point sharing the identity
+ * derives, regardless of organization, capacity, registry order
+ * or thread schedule. Exposed so tenant mixes reuse the *solo*
+ * identity of each co-scheduled workload (one arena serves solo
+ * and paired points alike).
+ */
+std::uint64_t traceIdentitySeed(WorkloadKind workload,
+                                unsigned page_bytes,
+                                std::uint64_t base_seed);
+
+/** The printable identity ("workload/pageBytes/baseSeed"):
+ * points (and tenants) with equal keys replay equal streams.
+ * Note the base seed is part of the identity — rerunning with
+ * --base-seed N regenerates every trace. */
+std::string traceIdentityKey(WorkloadKind workload,
+                             unsigned page_bytes,
+                             std::uint64_t base_seed);
 
 /** Paper capacities (MB), the default capacity axis. */
 extern const std::vector<std::uint64_t> kPaperCapacities;
@@ -240,6 +262,26 @@ struct ExperimentPoint
      * Null (external callers) preserves per-point generation.
      */
     TraceCache *traceCache = nullptr;
+
+    /**
+     * Additional trace identities a custom run function will
+     * acquire beyond the point's own traceKey() — e.g. the other
+     * tenants of a colocation mix — as (cache key, records)
+     * pairs. The SweepRunner plans them so shared arenas are
+     * sized and released correctly.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>>
+        extraTraceNeeds;
+
+    /**
+     * This point warms in-band and never acquires a shared
+     * WarmupArtifact (colocation mixes: the post-L2 stream is
+     * not design-independent). Stops the runner from planning a
+     * warmup use that would never be drained — an undrained plan
+     * pins the shared artifact in the cache budget for the whole
+     * sweep.
+     */
+    bool inBandWarmup = false;
 
     /** Globally unique key: "<experiment>/<label>". */
     std::string key() const;

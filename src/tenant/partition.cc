@@ -1,0 +1,116 @@
+/** @file Tenant partitioning policies (see partition.hh). */
+
+#include "tenant/partition.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dramcache/design_registry.hh"
+
+namespace fpc {
+
+TenantPartitionParams
+TenantPartitionParams::fromParams(const DesignParams &params)
+{
+    TenantPartitionParams out;
+    out.tenants = static_cast<unsigned>(
+        params.getU64("tenant.count", 1));
+    if (out.tenants == 0)
+        throw std::runtime_error("tenant.count must be >= 1");
+
+    const std::string policy =
+        params.getString("tenant.policy", "shared");
+    if (policy == "shared") {
+        out.policy = TenantPolicy::Shared;
+    } else if (policy == "setpart") {
+        out.policy = TenantPolicy::SetPartition;
+    } else if (policy == "quota") {
+        out.policy = TenantPolicy::Quota;
+    } else {
+        throw std::runtime_error(
+            "unknown tenant.policy '" + policy +
+            "' (known: shared, setpart, quota)");
+    }
+
+    for (unsigned t = 0; t < out.tenants; ++t) {
+        const std::string idx = std::to_string(t);
+        const double share =
+            params.getDouble("tenant.share" + idx, 1.0);
+        if (share <= 0.0)
+            throw std::runtime_error("tenant.share" + idx +
+                                     " must be positive");
+        out.shares.push_back(share);
+    }
+    double share_sum = 0.0;
+    for (double s : out.shares)
+        share_sum += s;
+    for (unsigned t = 0; t < out.tenants; ++t) {
+        const std::string key =
+            "tenant.quota" + std::to_string(t);
+        const double quota = params.getDouble(
+            key, out.shares[t] / share_sum);
+        if (quota <= 0.0 || quota > 1.0)
+            throw std::runtime_error(
+                key + " must be a fraction in (0, 1]");
+        out.quotas.push_back(quota);
+    }
+    return out;
+}
+
+SetPartitionSpec
+TenantPartitionParams::setPartition(std::uint64_t total_sets,
+                                    unsigned unit_byte_shift) const
+{
+    SetPartitionSpec spec;
+    if (!active() || policy != TenantPolicy::SetPartition)
+        return spec;
+    FPC_ASSERT(total_sets >= tenants);
+    FPC_ASSERT(unit_byte_shift < kTenantAddrShift);
+    spec.enabled = true;
+    spec.tenantShift = kTenantAddrShift - unit_byte_shift;
+
+    double share_sum = 0.0;
+    for (double s : shares)
+        share_sum += s;
+
+    // Proportional split, each range at least one set; the last
+    // tenant absorbs the rounding remainder.
+    std::uint64_t base = 0;
+    for (unsigned t = 0; t < tenants; ++t) {
+        std::uint64_t count;
+        if (t + 1 == tenants) {
+            count = total_sets - base;
+        } else {
+            count = static_cast<std::uint64_t>(
+                std::floor(static_cast<double>(total_sets) *
+                           shares[t] / share_sum));
+            const std::uint64_t still_needed = tenants - 1 - t;
+            count = std::max<std::uint64_t>(count, 1);
+            count = std::min(count,
+                             total_sets - base - still_needed);
+        }
+        FPC_ASSERT(count >= 1);
+        spec.ranges.emplace_back(base, count);
+        base += count;
+    }
+    FPC_ASSERT(base == total_sets);
+    return spec;
+}
+
+TenantQuota
+TenantPartitionParams::quota(std::uint64_t total_units) const
+{
+    if (!active() || policy != TenantPolicy::Quota)
+        return TenantQuota{};
+    std::vector<std::uint64_t> limits;
+    for (unsigned t = 0; t < tenants; ++t) {
+        const std::uint64_t limit = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(total_units) *
+                      quotas[t]));
+        limits.push_back(std::max<std::uint64_t>(limit, 1));
+    }
+    return TenantQuota{std::move(limits)};
+}
+
+} // namespace fpc

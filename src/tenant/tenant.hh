@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Multi-tenant colocation: the tenant address-space layout and the
+ * per-tenant metric slice.
+ *
+ * A pod that co-schedules N workloads gives each tenant a disjoint
+ * physical address space: tenant t's trace addresses carry t in the
+ * bits at kTenantAddrShift and above. Two properties follow, both
+ * load-bearing:
+ *
+ *  - tenants never alias each other's data, yet still contend for
+ *    DRAM-cache sets, MissMap segments and DRAM banks exactly as
+ *    co-scheduled workloads do (set-index functions mask or fold
+ *    the tenant bits, so a solo tenant behaves bit-identically to
+ *    the single-tenant simulator);
+ *  - any address observed anywhere below the L2 — a demand miss,
+ *    an LLC writeback, a dirty-page eviction reconstructed from a
+ *    tag — identifies its owning tenant, which is what lets the
+ *    off-chip DRAM attribute every byte moved to a tenant without
+ *    threading ids through each design's eviction paths.
+ *
+ * The tenant id additionally rides MemRequest::tenantId through
+ * the CacheHierarchy into every MemorySystem, so per-access
+ * attribution (hits, latency) never re-derives it from the
+ * address on the hot path.
+ */
+
+#ifndef FPC_TENANT_TENANT_HH
+#define FPC_TENANT_TENANT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fpc {
+
+/**
+ * Address bit where the tenant id starts: 16TB per tenant, far
+ * above any synthetic workload's footprint (= 16GB) and far below
+ * the 64-bit ceiling for any sane tenant count.
+ */
+constexpr unsigned kTenantAddrShift = 44;
+
+/** Base address of tenant @p tenant's address space. */
+constexpr Addr
+tenantAddrBase(std::uint32_t tenant)
+{
+    return static_cast<Addr>(tenant) << kTenantAddrShift;
+}
+
+/** Owning tenant of a physical address. */
+constexpr std::uint32_t
+tenantOfAddr(Addr addr)
+{
+    return static_cast<std::uint32_t>(addr >> kTenantAddrShift);
+}
+
+/**
+ * Owning tenant of a page id (an address already shifted right
+ * by @p page_shift): the page-granular designs' equivalent of
+ * tenantOfAddr.
+ */
+constexpr std::uint32_t
+tenantOfPageId(Addr page_id, unsigned page_shift)
+{
+    return static_cast<std::uint32_t>(
+        page_id >> (kTenantAddrShift - page_shift));
+}
+
+/**
+ * Per-tenant slice of one measured window: every field sums
+ * bit-exactly over the tenants to the corresponding aggregate
+ * RunMetrics field of the same run (tests/test_tenant.cc).
+ * Cycles are not sliced — wall-clock is shared by construction.
+ */
+struct TenantMetrics
+{
+    std::uint64_t traceRecords = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandHits = 0;
+
+    /** Summed memory-system latency of this tenant's demand
+     * accesses over the measured window (cycles). */
+    std::uint64_t memLatencyCycles = 0;
+
+    /** Off-chip bytes moved on behalf of this tenant's addresses
+     * (demand fetches, fills, writebacks, dirty evictions). */
+    std::uint64_t offchipBytes = 0;
+
+    /** Block-granularity DRAM-cache hit ratio of this tenant. */
+    double
+    hitRatio() const
+    {
+        return demandAccesses ? static_cast<double>(demandHits) /
+                                    demandAccesses
+                              : 0.0;
+    }
+
+    /** Average memory-system latency per demand access. */
+    double
+    avgAccessLatencyCycles() const
+    {
+        return demandAccesses
+                   ? static_cast<double>(memLatencyCycles) /
+                         demandAccesses
+                   : 0.0;
+    }
+};
+
+} // namespace fpc
+
+#endif // FPC_TENANT_TENANT_HH

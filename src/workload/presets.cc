@@ -26,6 +26,18 @@ workloadName(WorkloadKind kind)
     panic("bad workload kind");
 }
 
+bool
+workloadFromName(const std::string &name, WorkloadKind &out)
+{
+    for (WorkloadKind kind : kAllWorkloads) {
+        if (name == workloadName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
 namespace {
 
 /*

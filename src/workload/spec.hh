@@ -113,6 +113,12 @@ inline constexpr WorkloadKind kAllWorkloads[] = {
 const char *workloadName(WorkloadKind kind);
 
 /**
+ * Inverse of workloadName: parse @p name into @p out.
+ * @return false when the name matches no workload.
+ */
+bool workloadFromName(const std::string &name, WorkloadKind &out);
+
+/**
  * Build the preset spec for @p kind (see src/workload/presets.cc
  * for the tuning rationale of every class).
  */

@@ -367,7 +367,8 @@ TEST(Registry, AllPaperExperimentsRegistered)
         "fig06",  "fig07",  "fig08",
         "fig09",  "fig10",  "fig11",
         "fig12",  "table1", "table4",
-        "ablation_capacity", "ablation_predictor", "frontier"};
+        "ablation_capacity", "ablation_predictor", "frontier",
+        "colocation"};
     EXPECT_EQ(reg.names(), expected);
     for (const std::string &name : expected)
         EXPECT_NE(reg.find(name), nullptr) << name;
