@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hh"
 #include "experiments/experiments.hh"
 
 using namespace fpcbench;
@@ -161,6 +162,23 @@ main(int argc, char **argv)
     }
     if (!checkWorkloadFilter(opts))
         return 2;
+    if (opts.resume && opts.journalDir.empty()) {
+        std::fprintf(stderr, "--resume requires --journal DIR\n");
+        return 2;
+    }
+
+    // Fault injection: the --fault-plan flag wins; the
+    // FPC_FAULT_PLAN environment variable serves scripted CI
+    // jobs that can't thread extra flags through.
+    std::string fault_plan = opts.faultPlan;
+    if (fault_plan.empty()) {
+        if (const char *env = std::getenv("FPC_FAULT_PLAN"))
+            fault_plan = env;
+    }
+    if (!fault_plan.empty() &&
+        !fpc::FaultInjector::instance().configure(fault_plan,
+                                                  opts.seed))
+        return 2;
 
     ExperimentRegistry &reg = ExperimentRegistry::instance();
     registerAllExperiments(reg);
@@ -206,13 +224,15 @@ main(int argc, char **argv)
                 cache_desc.c_str());
 
     const auto t0 = std::chrono::steady_clock::now();
-    std::vector<PointResult> all;
+    SweepOutcome outcome;
     try {
-        all = runner.run(batch);
+        outcome = runner.runResilient(
+            batch, ResilienceOptions::fromSweepOptions(opts));
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ERROR: %s\n", e.what());
         return 1;
     }
+    const std::vector<PointResult> &all = outcome.results;
     const double seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0)
@@ -230,13 +250,40 @@ main(int argc, char **argv)
 
     if (report) {
         for (const ExperimentRun &run : runs) {
+            // Reporters assume every point carries valid metrics
+            // (ratios against baselines, positional indexing);
+            // an experiment with a failed point keeps its data in
+            // the merged JSON but skips the derived table.
+            bool any_failed = false;
+            for (const PointResult &r : run.results)
+                any_failed |= r.failed;
+            if (any_failed) {
+                std::printf("\n[%s skipped: experiment has "
+                            "failed point(s)]\n",
+                            run.name.c_str());
+                continue;
+            }
             const ExperimentDef *def = reg.find(run.name);
             def->report(opts, run.points, run.results);
         }
     }
 
-    std::printf("\nsweep: %zu point(s) in %.1fs (%u jobs)\n",
-                batch.size(), seconds, runner.jobs());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!all[i].failed)
+            continue;
+        std::fprintf(stderr,
+                     "FAILED: %s after %u attempt(s) in %.1fs: "
+                     "%s\n",
+                     batch[i].key().c_str(), all[i].attempts,
+                     all[i].elapsedSeconds,
+                     all[i].error.c_str());
+    }
+
+    std::printf("\nsweep: %zu point(s) in %.1fs (%u jobs): "
+                "%zu executed, %zu from journal, %zu failed\n",
+                batch.size(), seconds, runner.jobs(),
+                outcome.executed, outcome.journaled,
+                outcome.failed);
 
     if (opts.time) {
         std::fputs(renderTimingReport(runs,
@@ -271,5 +318,10 @@ main(int argc, char **argv)
             ++missing;
         }
     }
-    return missing ? 1 : 0;
+    if (missing)
+        return 1;
+    // Graceful degradation: completed results (and the report)
+    // were preserved above, but a sweep with terminal point
+    // failures must not look green to callers.
+    return outcome.failed ? 3 : 0;
 }

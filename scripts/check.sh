@@ -70,3 +70,33 @@ cmp "$BUILD_DIR"/BENCH_colocation_j1.json \
     "$BUILD_DIR"/BENCH_colocation_j2.json
 python3 scripts/check_bench_regression.py \
     --colocation-json "$BUILD_DIR"/BENCH_colocation_j1.json
+# Resilience slice: a fault-injected run (transient trace-build
+# failure absorbed by retries, one permanent failure -> exit 3
+# with a structured failure record) followed by a --resume that
+# re-executes nothing and reproduces the report byte-identically
+# from the checkpoint journal. CI's fault-smoke job runs the
+# larger fig06 variant with the standalone validator.
+rm -rf "$BUILD_DIR"/fault_journal
+FAULT_PLAN="trace-build@WebSearch:transient:1"
+FAULT_PLAN+=",point@fig04/WebSearch/page/256MB:permanent"
+set +e
+"$BUILD_DIR"/sweep --quick --jobs 2 --filter fig04 \
+    --workload WebSearch --no-report --retries 3 \
+    --fault-plan "$FAULT_PLAN" \
+    --journal "$BUILD_DIR"/fault_journal \
+    --out "$BUILD_DIR"/BENCH_fault_quick.json
+status=$?
+set -e
+[[ $status -eq 3 ]] || { echo "expected exit 3, got $status" >&2; exit 1; }
+set +e
+"$BUILD_DIR"/sweep --quick --jobs 2 --filter fig04 \
+    --workload WebSearch --no-report \
+    --journal "$BUILD_DIR"/fault_journal --resume \
+    --out "$BUILD_DIR"/BENCH_fault_resumed.json \
+    | tee "$BUILD_DIR"/fault_resume_report.txt
+status=$?
+set -e
+[[ $status -eq 3 ]] || { echo "expected exit 3, got $status" >&2; exit 1; }
+grep -q "0 executed" "$BUILD_DIR"/fault_resume_report.txt
+cmp "$BUILD_DIR"/BENCH_fault_quick.json \
+    "$BUILD_DIR"/BENCH_fault_resumed.json

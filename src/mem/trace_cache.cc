@@ -92,6 +92,7 @@ TraceCache::acquire(const std::string &key,
         entry = build(units);
     } catch (...) {
         lock.lock();
+        ++stats_.buildFailures;
         slots_.erase(key);
         cv_.notify_all();
         throw;

@@ -68,6 +68,14 @@ struct TraceCacheStats
     /** Highest simultaneous resident byte total observed. */
     std::uint64_t peakBytes = 0;
 
+    /**
+     * Builder invocations that threw. The slot is erased and the
+     * waiters retake the build, so a transient build failure
+     * costs a retry, never a poisoned entry; a nonzero count in
+     * the --time report flags the sweep paid for rebuild(s).
+     */
+    std::uint64_t buildFailures = 0;
+
     /** Wall-clock seconds spent inside builders. */
     double buildSeconds = 0.0;
 };

@@ -1,0 +1,469 @@
+/** @file Sweep checkpoint journal (see journal.hh). */
+
+#include "sim/journal.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/fault.hh"
+#include "common/logging.hh"
+
+namespace fpc {
+
+namespace {
+
+constexpr const char *kMagic = "fpcjournal 1";
+constexpr const char *kSuffix = ".pt";
+
+/** FNV-1a (matches the sweep key hash). */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+appendFmt(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+/**
+ * Doubles are serialized as hex floats ("%a"): exact round trip,
+ * so a resumed report renders byte-identically to the original.
+ */
+void
+appendDouble(std::string &out, double v)
+{
+    appendFmt(out, "%a", v);
+}
+
+/** Length-prefixed raw string: survives newlines and any bytes
+ * an exception message can carry. */
+void
+appendRaw(std::string &out, const std::string &s)
+{
+    appendFmt(out, "%zu ", s.size());
+    out += s;
+}
+
+/** Forward-only cursor over the serialized text; every taker
+ * returns false on truncation or malformed input. */
+struct Reader
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    bool
+    literal(const char *s)
+    {
+        const std::size_t n = std::strlen(s);
+        if (text.compare(pos, n, s) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\n'))
+            ++pos;
+    }
+
+    bool
+    u64(std::uint64_t &out)
+    {
+        skipSpace();
+        if (pos >= text.size() || !std::isdigit(
+                static_cast<unsigned char>(text[pos])))
+            return false;
+        char *end = nullptr;
+        out = std::strtoull(text.c_str() + pos, &end, 10);
+        pos = end - text.c_str();
+        return true;
+    }
+
+    bool
+    f64(double &out)
+    {
+        skipSpace();
+        char *end = nullptr;
+        out = std::strtod(text.c_str() + pos, &end);
+        if (end == text.c_str() + pos)
+            return false;
+        pos = end - text.c_str();
+        return true;
+    }
+
+    bool
+    raw(std::string &out)
+    {
+        std::uint64_t n = 0;
+        if (!u64(n))
+            return false;
+        if (pos >= text.size() || text[pos] != ' ')
+            return false;
+        ++pos;
+        if (pos + n > text.size())
+            return false;
+        out = text.substr(pos, n);
+        pos += n;
+        return true;
+    }
+
+    /** Rest of the current line (for the key). */
+    bool
+    line(std::string &out)
+    {
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            return false;
+        out = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        return true;
+    }
+};
+
+} // namespace
+
+SweepJournal::SweepJournal(std::string dir) : dir_(std::move(dir))
+{
+}
+
+bool
+SweepJournal::open() const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        std::fprintf(stderr, "cannot create journal dir %s: %s\n",
+                     dir_.c_str(), ec.message().c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+SweepJournal::fileNameFor(const std::string &key)
+{
+    // Readable prefix for humans poking at the directory, hash
+    // suffix for uniqueness (keys contain '/', and labels can
+    // exceed filesystem name limits).
+    std::string name;
+    for (char c : key) {
+        const bool safe =
+            std::isalnum(static_cast<unsigned char>(c)) ||
+            c == '.' || c == '-' || c == '_' || c == '=';
+        name += safe ? c : '_';
+        if (name.size() >= 96)
+            break;
+    }
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "-%016" PRIx64,
+                  fnv1a(key));
+    return name + hash + kSuffix;
+}
+
+std::string
+SweepJournal::serialize(const ExperimentPoint &point,
+                        const PointResult &r)
+{
+    const RunMetrics &m = r.metrics;
+    std::string out;
+    out += kMagic;
+    out += "\nkey ";
+    out += point.key();
+    out += "\nopts ";
+    appendDouble(out, point.scale);
+    appendFmt(out, " %" PRIu64, point.baseSeed);
+    appendFmt(out, "\nstatus %u %u ", r.failed ? 1u : 0u,
+              r.attempts);
+    appendDouble(out, r.elapsedSeconds);
+    out += "\nerror ";
+    appendRaw(out, r.error);
+    appendFmt(out,
+              "\nmetrics %" PRIu64 " %" PRIu64 " %" PRIu64
+              " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+              " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64,
+              m.instructions,
+              static_cast<std::uint64_t>(m.cycles),
+              m.traceRecords, m.llcMisses, m.demandAccesses,
+              m.demandHits, m.memLatencyCycles, m.offchipBytes,
+              m.stackedBytes, m.offchipActs, m.stackedActs);
+    out += "\nenergy ";
+    appendDouble(out, m.offchipActPreNj);
+    out += " ";
+    appendDouble(out, m.offchipBurstNj);
+    out += " ";
+    appendDouble(out, m.stackedActPreNj);
+    out += " ";
+    appendDouble(out, m.stackedBurstNj);
+    appendFmt(out, "\ntenants %zu", m.tenants.size());
+    for (const TenantMetrics &t : m.tenants) {
+        appendFmt(out,
+                  "\ntenant %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %" PRIu64,
+                  t.traceRecords, t.instructions, t.llcMisses,
+                  t.demandAccesses, t.demandHits,
+                  t.memLatencyCycles, t.offchipBytes);
+    }
+    appendFmt(out,
+              "\nfootprint %u %" PRIu64 " %" PRIu64 " %" PRIu64
+              " %" PRIu64 " %" PRIu64 " %" PRIu64,
+              r.hasFootprint ? 1u : 0u, r.covered, r.underpred,
+              r.overpred, r.trigMisses, r.singletonBypasses,
+              r.densityPages);
+    appendFmt(out, "\ndensity %zu", r.densityBuckets.size());
+    for (std::uint64_t b : r.densityBuckets)
+        appendFmt(out, " %" PRIu64, b);
+    appendFmt(out, "\nextras %zu", r.extra.size());
+    for (const auto &[name, value] : r.extra) {
+        out += "\nextra ";
+        appendDouble(out, value);
+        out += " ";
+        appendRaw(out, name);
+    }
+    out += "\ntiming ";
+    appendDouble(out, r.timing.traceSeconds);
+    out += " ";
+    appendDouble(out, r.timing.warmupSeconds);
+    out += " ";
+    appendDouble(out, r.timing.measureSeconds);
+    appendFmt(out, " %u %u %u %u",
+              r.timing.replayedTrace ? 1u : 0u,
+              r.timing.generatedTrace ? 1u : 0u,
+              r.timing.replayedWarmup ? 1u : 0u,
+              r.timing.builtWarmup ? 1u : 0u);
+    out += "\nend\n";
+    return out;
+}
+
+bool
+SweepJournal::parse(const std::string &text, std::string &key,
+                    JournalEntry &entry)
+{
+    Reader in{text};
+    JournalEntry e;
+    PointResult &r = e.result;
+    RunMetrics &m = r.metrics;
+
+    if (!in.literal(kMagic) || !in.literal("\nkey "))
+        return false;
+    if (!in.line(key) || key.empty())
+        return false;
+
+    std::uint64_t failed = 0, attempts = 0;
+    if (!in.literal("opts ") || !in.f64(e.scale) ||
+        !in.u64(e.baseSeed))
+        return false;
+    in.skipSpace();
+    if (!in.literal("status ") || !in.u64(failed) ||
+        !in.u64(attempts) || !in.f64(r.elapsedSeconds))
+        return false;
+    if (failed > 1 || attempts == 0)
+        return false;
+    r.failed = failed != 0;
+    r.attempts = static_cast<unsigned>(attempts);
+    in.skipSpace();
+    if (!in.literal("error ") || !in.raw(r.error))
+        return false;
+
+    std::uint64_t cycles = 0;
+    in.skipSpace();
+    if (!in.literal("metrics") || !in.u64(m.instructions) ||
+        !in.u64(cycles) || !in.u64(m.traceRecords) ||
+        !in.u64(m.llcMisses) || !in.u64(m.demandAccesses) ||
+        !in.u64(m.demandHits) || !in.u64(m.memLatencyCycles) ||
+        !in.u64(m.offchipBytes) || !in.u64(m.stackedBytes) ||
+        !in.u64(m.offchipActs) || !in.u64(m.stackedActs))
+        return false;
+    m.cycles = cycles;
+    in.skipSpace();
+    if (!in.literal("energy") || !in.f64(m.offchipActPreNj) ||
+        !in.f64(m.offchipBurstNj) || !in.f64(m.stackedActPreNj) ||
+        !in.f64(m.stackedBurstNj))
+        return false;
+
+    std::uint64_t count = 0;
+    in.skipSpace();
+    if (!in.literal("tenants") || !in.u64(count) ||
+        count > 4096)
+        return false;
+    m.tenants.resize(count);
+    for (TenantMetrics &t : m.tenants) {
+        in.skipSpace();
+        if (!in.literal("tenant") || !in.u64(t.traceRecords) ||
+            !in.u64(t.instructions) || !in.u64(t.llcMisses) ||
+            !in.u64(t.demandAccesses) || !in.u64(t.demandHits) ||
+            !in.u64(t.memLatencyCycles) ||
+            !in.u64(t.offchipBytes))
+            return false;
+    }
+
+    std::uint64_t has_fp = 0;
+    in.skipSpace();
+    if (!in.literal("footprint") || !in.u64(has_fp) ||
+        has_fp > 1 || !in.u64(r.covered) ||
+        !in.u64(r.underpred) || !in.u64(r.overpred) ||
+        !in.u64(r.trigMisses) || !in.u64(r.singletonBypasses) ||
+        !in.u64(r.densityPages))
+        return false;
+    r.hasFootprint = has_fp != 0;
+
+    in.skipSpace();
+    if (!in.literal("density") || !in.u64(count) ||
+        count > 1u << 20)
+        return false;
+    r.densityBuckets.resize(count);
+    for (std::uint64_t &b : r.densityBuckets) {
+        if (!in.u64(b))
+            return false;
+    }
+
+    in.skipSpace();
+    if (!in.literal("extras") || !in.u64(count) ||
+        count > 1u << 20)
+        return false;
+    r.extra.resize(count);
+    for (auto &[name, value] : r.extra) {
+        in.skipSpace();
+        if (!in.literal("extra ") || !in.f64(value))
+            return false;
+        in.skipSpace();
+        if (!in.raw(name))
+            return false;
+    }
+
+    std::uint64_t flags[4];
+    in.skipSpace();
+    if (!in.literal("timing ") ||
+        !in.f64(r.timing.traceSeconds) ||
+        !in.f64(r.timing.warmupSeconds) ||
+        !in.f64(r.timing.measureSeconds) || !in.u64(flags[0]) ||
+        !in.u64(flags[1]) || !in.u64(flags[2]) ||
+        !in.u64(flags[3]))
+        return false;
+    r.timing.replayedTrace = flags[0] != 0;
+    r.timing.generatedTrace = flags[1] != 0;
+    r.timing.replayedWarmup = flags[2] != 0;
+    r.timing.builtWarmup = flags[3] != 0;
+
+    in.skipSpace();
+    if (!in.literal("end"))
+        return false;
+
+    entry = std::move(e);
+    return true;
+}
+
+std::size_t
+SweepJournal::load(
+    std::unordered_map<std::string, JournalEntry> &out) const
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(
+        dir_,
+        std::filesystem::directory_options::
+            skip_permission_denied,
+        ec);
+    if (ec)
+        return 0;
+    std::size_t loaded = 0;
+    for (const auto &dirent : it) {
+        if (!dirent.is_regular_file())
+            continue;
+        const std::string path = dirent.path().string();
+        if (path.size() < std::strlen(kSuffix) ||
+            path.compare(path.size() - std::strlen(kSuffix),
+                         std::string::npos, kSuffix) != 0)
+            continue;
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f)
+            continue;
+        std::string text;
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+
+        std::string key;
+        JournalEntry entry;
+        if (!parse(text, key, entry)) {
+            warn("journal: skipping corrupt entry %s "
+                 "(the point will re-run)",
+                 path.c_str());
+            continue;
+        }
+        out[key] = std::move(entry);
+        ++loaded;
+    }
+    return loaded;
+}
+
+bool
+SweepJournal::append(const ExperimentPoint &point,
+                     const PointResult &result) const
+{
+    const std::string content = serialize(point, result);
+    const std::string final_path =
+        dir_ + "/" + fileNameFor(point.key());
+    const std::string tmp_path = final_path + ".tmp";
+
+    try {
+        faultPoint("journal-write", point.key());
+    } catch (const std::exception &e) {
+        warn("journal: cannot write %s: %s", final_path.c_str(),
+             e.what());
+        return false;
+    }
+
+    std::FILE *f = std::fopen(tmp_path.c_str(), "wb");
+    if (!f) {
+        warn("journal: cannot open %s", tmp_path.c_str());
+        return false;
+    }
+    const bool wrote =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size() &&
+        std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+    std::fclose(f);
+    if (!wrote || std::rename(tmp_path.c_str(),
+                              final_path.c_str()) != 0) {
+        warn("journal: cannot persist %s", final_path.c_str());
+        std::remove(tmp_path.c_str());
+        return false;
+    }
+
+    // Make the rename itself durable: fsync the directory so a
+    // machine crash cannot forget a completed point.
+    const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    return true;
+}
+
+} // namespace fpc

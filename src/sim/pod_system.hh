@@ -30,6 +30,7 @@
 #ifndef FPC_SIM_POD_SYSTEM_HH
 #define FPC_SIM_POD_SYSTEM_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -94,6 +95,17 @@ struct PodConfig
      * tenant byte accounting on the off-chip DRAM.
      */
     unsigned numTenants = 0;
+
+    /**
+     * Cooperative cancellation flag (non-owning; null = never
+     * cancelled). The warmup, warmup-replay and measurement
+     * loops poll it at batch boundaries and unwind with
+     * PointCancelledError when it goes true — how the sweep's
+     * per-point deadline watchdog stops a wedged point without
+     * killing its thread. Deliberately excluded from warmup-
+     * artifact cache keys: it never affects simulated state.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 
     CacheHierarchy::Config hierarchy =
         CacheHierarchy::Config::scaleOutPod();

@@ -12,13 +12,17 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <new>
 #include <optional>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault.hh"
 #include "common/rng.hh"
 #include "mem/materialized_trace.hh"
+#include "sim/journal.hh"
 #include "workload/generator.hh"
 
 namespace fpc {
@@ -62,6 +66,18 @@ SweepOptions::traceCacheConfig() const
     return cfg;
 }
 
+ResilienceOptions
+ResilienceOptions::fromSweepOptions(const SweepOptions &opts)
+{
+    ResilienceOptions res;
+    res.retries = opts.retries;
+    res.backoffMs = opts.backoffMs;
+    res.pointDeadlineS = opts.pointDeadlineS;
+    res.journalDir = opts.journalDir;
+    res.resume = opts.resume;
+    return res;
+}
+
 bool
 parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
 {
@@ -96,6 +112,25 @@ parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
                i + 1 < argc) {
         opts.time = true;
         opts.timeOut = argv[++i];
+    } else if (!std::strcmp(argv[i], "--journal") &&
+               i + 1 < argc) {
+        opts.journalDir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--resume")) {
+        opts.resume = true;
+    } else if (!std::strcmp(argv[i], "--retries") &&
+               i + 1 < argc) {
+        opts.retries = static_cast<unsigned>(
+            std::strtoul(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--backoff-ms") &&
+               i + 1 < argc) {
+        opts.backoffMs = static_cast<unsigned>(
+            std::strtoul(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--point-deadline-s") &&
+               i + 1 < argc) {
+        opts.pointDeadlineS = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--fault-plan") &&
+               i + 1 < argc) {
+        opts.faultPlan = argv[++i];
     } else {
         return false;
     }
@@ -106,7 +141,9 @@ const char *kCommonFlagsUsage =
     "[--quick] [--scale F] [--seed N | --base-seed N] "
     "[--workload NAME] "
     "[--jobs N] [--no-trace-cache] [--trace-cache-mb N] "
-    "[--time] [--time-out FILE]";
+    "[--time] [--time-out FILE] "
+    "[--journal DIR] [--resume] [--retries N] [--backoff-ms N] "
+    "[--point-deadline-s F] [--fault-plan PLAN]";
 
 bool
 checkWorkloadFilter(const SweepOptions &opts)
@@ -124,6 +161,13 @@ checkWorkloadFilter(const SweepOptions &opts)
 bool
 writeTextFile(const std::string &path, const std::string &content)
 {
+    try {
+        faultPoint("report-write", path);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                     e.what());
+        return false;
+    }
     // Create missing parent directories: `--out runs/x/y.json`
     // must not burn a whole sweep and then fail at write time.
     const std::filesystem::path parent =
@@ -143,8 +187,14 @@ writeTextFile(const std::string &path, const std::string &content)
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return false;
     }
-    std::fwrite(content.data(), 1, content.size(), f);
-    std::fclose(f);
+    const bool wrote =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+        std::fprintf(stderr, "short write to %s\n", path.c_str());
+        return false;
+    }
     return true;
 }
 
@@ -331,6 +381,8 @@ warmupArtifactKey(const ExperimentPoint &point,
 PointResult
 runPoint(const ExperimentPoint &point)
 {
+    faultPoint("point", point.key());
+
     if (point.custom)
         return point.custom(point);
 
@@ -352,6 +404,7 @@ runPoint(const ExperimentPoint &point)
             point.traceCache->acquire(
                 "trace/" + point.traceKey(), warm + measure,
                 [&](std::uint64_t records) {
+                    faultPoint("trace-build", point.traceKey());
                     generated = true;
                     auto built =
                         std::make_shared<MaterializedTrace>();
@@ -388,6 +441,8 @@ runPoint(const ExperimentPoint &point)
                 point.traceCache->acquire(
                     warmupArtifactKey(point, warm), warm,
                     [&](std::uint64_t) -> TraceCache::EntryPtr {
+                        faultPoint("warmup-build",
+                                   point.traceKey());
                         built = true;
                         return PodSystem::buildWarmupArtifact(
                             *arena, point.cfg.pod.hierarchy,
@@ -395,6 +450,7 @@ runPoint(const ExperimentPoint &point)
                     }));
         out.timing.replayedWarmup = true;
         out.timing.builtWarmup = built;
+        faultPoint("warmup-restore", point.key());
         exp.pod().applyWarmup(*artifact);
         replay->seekTo(warm);
     } else if (warm > 0) {
@@ -459,8 +515,76 @@ SweepRunner::SweepRunner(unsigned jobs, TraceCacheConfig cache)
 std::vector<PointResult>
 SweepRunner::run(const std::vector<ExperimentPoint> &points) const
 {
-    // Duplicate keys would make the merged report ambiguous;
-    // catch them before burning any simulation time.
+    // Legacy all-or-nothing semantics over the resilient core:
+    // no retries, no journal, no deadline; any failure rethrows
+    // after the whole batch has drained.
+    SweepOutcome out = runResilient(points, ResilienceOptions{});
+    if (out.failed) {
+        std::string first;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!out.results[i].failed)
+                continue;
+            first = "sweep point " + points[i].key() +
+                    " failed: " + out.results[i].error;
+            break;
+        }
+        if (out.failed > 1)
+            first += " (and " + std::to_string(out.failed - 1) +
+                     " more point(s))";
+        throw std::runtime_error(first);
+    }
+    return std::move(out.results);
+}
+
+namespace {
+
+/** Worker-side classification of a failed attempt. */
+struct AttemptFailure
+{
+    std::string error;
+    bool transient = false;
+};
+
+/**
+ * Translate the in-flight exception of a failed attempt.
+ * TransientError and allocation pressure are worth retrying;
+ * deadline cancellations and everything else are terminal.
+ */
+AttemptFailure
+classifyFailure()
+{
+    AttemptFailure f;
+    try {
+        throw;
+    } catch (const PointCancelledError &e) {
+        f.error = e.what();
+    } catch (const TransientError &e) {
+        f.error = e.what();
+        f.transient = true;
+    } catch (const std::bad_alloc &) {
+        f.error = "allocation failure (std::bad_alloc)";
+        f.transient = true;
+    } catch (const std::filesystem::filesystem_error &e) {
+        f.error = e.what();
+        f.transient = true;
+    } catch (const std::exception &e) {
+        f.error = e.what();
+    } catch (...) {
+        f.error = "unknown error (non-standard exception)";
+    }
+    return f;
+}
+
+} // namespace
+
+SweepOutcome
+SweepRunner::runResilient(
+    const std::vector<ExperimentPoint> &points,
+    const ResilienceOptions &res) const
+{
+    // Duplicate keys would make the merged report (and the
+    // journal) ambiguous; catch them before burning any
+    // simulation time.
     std::unordered_set<std::string> keys;
     for (const ExperimentPoint &p : points) {
         if (!keys.insert(p.key()).second)
@@ -468,13 +592,55 @@ SweepRunner::run(const std::vector<ExperimentPoint> &points) const
                                      p.key());
     }
 
-    // Plan the arena sizes up front: every point registers its
-    // demand so the first acquirer of an identity generates a
-    // stream long enough for the largest window sharing it.
+    SweepOutcome out;
+    out.results.resize(points.size());
+
+    // Journal: serve previously completed points (results and
+    // terminal failures alike — a resumed sweep must reproduce
+    // the interrupted run's report byte-identically without
+    // re-executing anything already decided).
+    std::optional<SweepJournal> journal;
+    std::vector<char> fromJournal(points.size(), 0);
+    if (!res.journalDir.empty()) {
+        journal.emplace(res.journalDir);
+        if (!journal->open())
+            throw std::runtime_error(
+                "cannot open journal directory " + res.journalDir);
+        if (res.resume) {
+            std::unordered_map<std::string, JournalEntry> loaded;
+            journal->load(loaded);
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                const auto it = loaded.find(points[i].key());
+                if (it == loaded.end())
+                    continue;
+                const JournalEntry &e = it->second;
+                // An entry produced under different options is
+                // stale, not wrong: the point simply re-runs.
+                if (e.scale != points[i].scale ||
+                    e.baseSeed != points[i].baseSeed)
+                    continue;
+                out.results[i] = e.result;
+                fromJournal[i] = 1;
+                ++out.journaled;
+            }
+        }
+    }
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!fromJournal[i])
+            pending.push_back(i);
+    }
+
+    // Plan the arena sizes up front: every *pending* point
+    // registers its demand so the first acquirer of an identity
+    // generates a stream long enough for the largest window
+    // sharing it (journal-served points never touch the cache).
     std::optional<TraceCache> cache;
     if (cacheCfg_.enabled) {
         cache.emplace(cacheCfg_.budgetBytes);
-        for (const ExperimentPoint &p : points) {
+        for (const std::size_t i : pending) {
+            const ExperimentPoint &p = points[i];
             // Custom points (e.g. frontier's) usually route back
             // through runPoint; planning them like standard
             // points over-counts at worst, which only delays an
@@ -492,35 +658,117 @@ SweepRunner::run(const std::vector<ExperimentPoint> &points) const
     }
     cacheStats_ = TraceCacheStats{};
 
-    // Lock-free collection: one pre-sized slot per point (and
-    // per error), a single atomic cursor for distribution. Point
-    // seeds never depend on which worker claims them. A throwing
-    // point must not escape its worker thread (std::terminate
-    // would lose the whole batch), so failures are recorded per
-    // slot and rethrown with their point key after the join.
-    std::vector<PointResult> results(points.size());
-    std::vector<std::string> errors(points.size());
-    std::atomic<std::size_t> next{0};
+    // Watchdog state: one cancellation flag and one attempt
+    // start-stamp (ms since `epoch`, -1 = idle) per point. The
+    // monitor thread only ever reads stamps and raises flags;
+    // the simulation loops observe flags cooperatively at batch
+    // boundaries, so cancellation is a clean exception unwind,
+    // never a killed thread.
+    const auto epoch = std::chrono::steady_clock::now();
+    const auto nowMs = [epoch]() -> std::int64_t {
+        return std::chrono::duration_cast<
+                   std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now() - epoch)
+            .count();
+    };
+    const std::size_t n = points.size();
+    std::unique_ptr<std::atomic<bool>[]> cancel(
+        new std::atomic<bool>[n]);
+    std::unique_ptr<std::atomic<std::int64_t>[]> started(
+        new std::atomic<std::int64_t>[n]);
+    for (std::size_t i = 0; i < n; ++i) {
+        cancel[i].store(false, std::memory_order_relaxed);
+        started[i].store(-1, std::memory_order_relaxed);
+    }
+
+    // Lock-free collection: one pre-sized slot per point, a
+    // single atomic cursor for distribution. Point seeds never
+    // depend on which worker claims them, so the merged report
+    // is byte-identical across --jobs counts — and across an
+    // interrupt/resume boundary.
+    std::atomic<std::size_t> cursor{0};
     auto work = [&]() {
         while (true) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= points.size())
+            const std::size_t slot =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (slot >= pending.size())
                 return;
-            try {
-                ExperimentPoint p = points[i];
-                p.traceCache = cache ? &*cache : nullptr;
-                results[i] = runPoint(p);
-            } catch (const std::exception &e) {
-                errors[i] = e.what();
-            } catch (...) {
-                errors[i] = "unknown error";
+            const std::size_t i = pending[slot];
+            const std::string key = points[i].key();
+            const auto t0 = std::chrono::steady_clock::now();
+            PointResult &r = out.results[i];
+            for (unsigned attempt = 1;; ++attempt) {
+                cancel[i].store(false,
+                                std::memory_order_relaxed);
+                started[i].store(nowMs(),
+                                 std::memory_order_release);
+                try {
+                    ExperimentPoint p = points[i];
+                    p.traceCache = cache ? &*cache : nullptr;
+                    p.cfg.pod.cancel = &cancel[i];
+                    PointResult got = runPoint(p);
+                    started[i].store(-1,
+                                     std::memory_order_relaxed);
+                    got.attempts = attempt;
+                    got.elapsedSeconds = secondsSince(t0);
+                    r = std::move(got);
+                    break;
+                } catch (...) {
+                    started[i].store(-1,
+                                     std::memory_order_relaxed);
+                    const AttemptFailure f = classifyFailure();
+                    if (f.transient && attempt <= res.retries) {
+                        const unsigned delay_ms =
+                            res.backoffMs << (attempt - 1);
+                        std::fprintf(
+                            stderr,
+                            "sweep point %s: transient failure "
+                            "(attempt %u): %s; retrying in "
+                            "%u ms\n",
+                            key.c_str(), attempt,
+                            f.error.c_str(), delay_ms);
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(delay_ms));
+                        continue;
+                    }
+                    r = PointResult{};
+                    r.failed = true;
+                    r.error = f.error;
+                    r.attempts = attempt;
+                    r.elapsedSeconds = secondsSince(t0);
+                    break;
+                }
             }
+            if (journal)
+                journal->append(points[i], r);
+            faultPoint("point-done", key);
         }
     };
 
+    std::atomic<bool> stopWatchdog{false};
+    std::thread watchdog;
+    if (res.pointDeadlineS > 0) {
+        watchdog = std::thread([&]() {
+            const auto deadline_ms = static_cast<std::int64_t>(
+                res.pointDeadlineS * 1000.0);
+            while (!stopWatchdog.load(
+                std::memory_order_acquire)) {
+                const std::int64_t t = nowMs();
+                for (std::size_t i = 0; i < n; ++i) {
+                    const std::int64_t s = started[i].load(
+                        std::memory_order_acquire);
+                    if (s >= 0 && t - s > deadline_ms)
+                        cancel[i].store(
+                            true, std::memory_order_relaxed);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        });
+    }
+
     const unsigned workers = std::min<std::size_t>(
-        jobs_, points.size() ? points.size() : 1);
+        jobs_, pending.size() ? pending.size() : 1);
     if (workers <= 1) {
         work();
     } else {
@@ -531,40 +779,24 @@ SweepRunner::run(const std::vector<ExperimentPoint> &points) const
         for (std::thread &t : pool)
             t.join();
     }
-
-    std::size_t failed = 0;
-    std::string first;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        if (errors[i].empty())
-            continue;
-        if (!failed)
-            first = "sweep point " + points[i].key() +
-                    " failed: " + errors[i];
-        ++failed;
+    if (watchdog.joinable()) {
+        stopWatchdog.store(true, std::memory_order_release);
+        watchdog.join();
     }
+
     if (cache)
         cacheStats_ = cache->stats();
 
-    if (failed) {
-        if (failed > 1)
-            first += " (and " + std::to_string(failed - 1) +
-                     " more point(s))";
-        throw std::runtime_error(first);
+    out.executed = pending.size();
+    out.failed = 0;
+    for (const PointResult &r : out.results) {
+        if (r.failed)
+            ++out.failed;
     }
-    return results;
+    return out;
 }
 
 namespace {
-
-void
-appendJsonEscaped(std::string &out, const std::string &s)
-{
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-}
 
 void
 appendFmt(std::string &out, const char *fmt, ...)
@@ -575,6 +807,42 @@ appendFmt(std::string &out, const char *fmt, ...)
     std::vsnprintf(buf, sizeof(buf), fmt, ap);
     va_end(ap);
     out += buf;
+}
+
+/**
+ * JSON string escaping, including control characters: failure
+ * records embed exception text, which can carry newlines or tabs
+ * from errno strings and assertion messages — emitting those raw
+ * would corrupt the whole report.
+ */
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                appendFmt(out, "\\u%04x",
+                          static_cast<unsigned char>(c));
+            else
+                out += c;
+        }
+    }
 }
 
 void
@@ -598,6 +866,23 @@ void
 appendPoint(std::string &out, const ExperimentPoint &p,
             const PointResult &r, bool emit_timing)
 {
+    if (r.failed) {
+        // Structured failure record: the point failed after all
+        // retries, so there are no metrics — but the key, the
+        // reason and the cost are worth every completed
+        // neighbour's report space.
+        out += "        {\"key\": \"";
+        appendJsonEscaped(out, p.key());
+        out += "\", \"workload\": \"";
+        appendJsonEscaped(out, workloadName(p.workload));
+        out += "\",\n         \"failed\": true, \"error\": \"";
+        appendJsonEscaped(out, r.error);
+        appendFmt(out,
+                  "\",\n         \"attempts\": %u, "
+                  "\"elapsed_s\": %.3f}",
+                  r.attempts, r.elapsedSeconds);
+        return;
+    }
     const RunMetrics &m = r.metrics;
     out += "        {\"key\": \"";
     appendJsonEscaped(out, p.key());
@@ -691,6 +976,10 @@ appendPoint(std::string &out, const ExperimentPoint &p,
         }
         out += "}";
     }
+    // Only when retries actually happened: a clean run's report
+    // stays byte-identical to pre-resilience output.
+    if (r.attempts > 1)
+        appendFmt(out, ",\n         \"attempts\": %u", r.attempts);
     if (emit_timing) {
         out += ",\n";
         appendTiming(out, r.timing, "         ");
@@ -783,9 +1072,11 @@ renderTimingReport(const std::vector<ExperimentRun> &runs,
               "trace cache: %" PRIu64 " hit(s), %" PRIu64
               " miss(es), %" PRIu64 " regeneration(s), %" PRIu64
               " eviction(s), %" PRIu64 " released, %" PRIu64
-              " wait(s), peak %.1f MB, %.2fs building\n",
+              " wait(s), %" PRIu64
+              " build failure(s), peak %.1f MB, %.2fs building\n",
               cache.hits, cache.misses, cache.regenerations,
               cache.evictions, cache.released, cache.waits,
+              cache.buildFailures,
               static_cast<double>(cache.peakBytes) / (1 << 20),
               cache.buildSeconds);
     return out;
@@ -810,11 +1101,13 @@ renderTimingJson(const SweepOptions &options,
               ", \"regenerations\": %" PRIu64
               ", \"evictions\": %" PRIu64
               ", \"released\": %" PRIu64 ", \"waits\": %" PRIu64
+              ", \"build_failures\": %" PRIu64
               ", \"peak_bytes\": %" PRIu64
               ", \"build_seconds\": %.4f},\n",
               cache.hits, cache.misses, cache.regenerations,
               cache.evictions, cache.released, cache.waits,
-              cache.peakBytes, cache.buildSeconds);
+              cache.buildFailures, cache.peakBytes,
+              cache.buildSeconds);
     out += "  \"points\": [";
     bool first = true;
     for (const ExperimentRun &run : runs) {

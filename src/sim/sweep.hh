@@ -94,6 +94,27 @@ struct SweepOptions
      */
     std::string timeOut;
 
+    /** Checkpoint journal directory (--journal; empty = off). */
+    std::string journalDir;
+
+    /** Skip and merge journaled points (--resume). */
+    bool resume = false;
+
+    /** Extra attempts for transiently-failing points
+     * (--retries). */
+    unsigned retries = 2;
+
+    /** Base retry backoff in ms, doubled per attempt
+     * (--backoff-ms). */
+    unsigned backoffMs = 250;
+
+    /** Per-point wall-clock deadline in seconds
+     * (--point-deadline-s; 0 = none). */
+    double pointDeadlineS = 0.0;
+
+    /** Fault-injection plan (--fault-plan; empty = off). */
+    std::string faultPlan;
+
     /** Workloads selected by the filter (default: all six). */
     std::vector<WorkloadKind> workloads() const;
 
@@ -102,6 +123,41 @@ struct SweepOptions
 
     /** The trace-cache configuration these options select. */
     TraceCacheConfig traceCacheConfig() const;
+};
+
+/**
+ * Fault-tolerance knobs of one SweepRunner::runResilient() call.
+ * The defaults reproduce the legacy all-or-nothing run(): no
+ * retries, no journal, no deadline.
+ */
+struct ResilienceOptions
+{
+    /** Extra attempts after a transient failure (TransientError
+     * or std::bad_alloc). Permanent errors never retry. */
+    unsigned retries = 0;
+
+    /** Backoff before attempt k: backoffMs << (k - 2) ms. */
+    unsigned backoffMs = 250;
+
+    /**
+     * Per-point deadline in seconds (0 = none). A watchdog
+     * thread raises the point's cooperative cancellation flag
+     * once an attempt exceeds it; the simulation loops observe
+     * the flag at batch boundaries, the point fails with a
+     * deadline error, and the pool drains normally.
+     */
+    double pointDeadlineS = 0.0;
+
+    /** Checkpoint journal directory (empty = no journal). */
+    std::string journalDir;
+
+    /** Serve journaled keys from the journal instead of
+     * re-running them (requires journalDir). */
+    bool resume = false;
+
+    /** The resilience settings these sweep options select. */
+    static ResilienceOptions fromSweepOptions(
+        const SweepOptions &opts);
 };
 
 /** Resolve a --jobs value: 0 means hardware concurrency. */
@@ -223,6 +279,29 @@ struct PointResult
      * cache sizes); emitted verbatim into the JSON report.
      */
     std::vector<std::pair<std::string, double>> extra;
+
+    /**
+     * Attempts this point consumed (1 = first try succeeded).
+     * Emitted into the JSON only when > 1 or on failure, so a
+     * clean run's report stays byte-identical to older output.
+     */
+    unsigned attempts = 1;
+
+    /** Wall-clock seconds across all attempts (emitted only in
+     * failure records). */
+    double elapsedSeconds = 0.0;
+
+    /**
+     * Terminal failure: the point failed after all retries (or
+     * past its deadline). Metrics are invalid; the JSON carries
+     * a structured failure record {key, error, attempts,
+     * elapsed_s} instead, and the sweep CLI exits nonzero while
+     * preserving every completed result.
+     */
+    bool failed = false;
+
+    /** Failure reason (failed only). */
+    std::string error;
 };
 
 /**
@@ -349,11 +428,33 @@ struct SweepSpec
     std::vector<ExperimentPoint> expand() const;
 };
 
+/** What a resilient sweep produced (results[i] ~ points[i]). */
+struct SweepOutcome
+{
+    std::vector<PointResult> results;
+
+    /** Points actually executed by this process. */
+    std::size_t executed = 0;
+
+    /** Points served from the --resume journal. */
+    std::size_t journaled = 0;
+
+    /** Terminal failures (results[i].failed). */
+    std::size_t failed = 0;
+};
+
 /**
  * Shards a batch of points across a std::thread pool. Results go
  * into a pre-sized vector indexed by point position — workers
  * never share a slot, so collection is lock-free; work
  * distribution is a single atomic counter.
+ *
+ * runResilient() adds the fault-tolerance layer: per-point
+ * checkpoint journaling with resume, bounded retry with
+ * exponential backoff for transient failures, a deadline
+ * watchdog with cooperative cancellation, and graceful
+ * degradation — a failed point becomes a structured failure
+ * record instead of poisoning the batch.
  */
 class SweepRunner
 {
@@ -366,9 +467,25 @@ class SweepRunner
     explicit SweepRunner(unsigned jobs = 0,
                          TraceCacheConfig cache = {});
 
-    /** Run all points; result i corresponds to points[i]. */
+    /**
+     * Run all points; result i corresponds to points[i].
+     * All-or-nothing: any point failure rethrows (after every
+     * point has been attempted) naming the first failed key.
+     */
     std::vector<PointResult>
     run(const std::vector<ExperimentPoint> &points) const;
+
+    /**
+     * Run all points under @p res. Never throws for point
+     * failures: failed points come back as structured failure
+     * records (PointResult::failed) while every completed
+     * result is preserved (and journaled, when enabled).
+     * @throws std::runtime_error for batch-level misuse only
+     * (duplicate keys, unusable journal directory).
+     */
+    SweepOutcome
+    runResilient(const std::vector<ExperimentPoint> &points,
+                 const ResilienceOptions &res) const;
 
     unsigned jobs() const { return jobs_; }
 
