@@ -14,6 +14,7 @@
 #include "dram/system.hh"
 #include "experiments/experiments.hh"
 #include "sim/pod_system.hh"
+#include "telemetry/trace_events.hh"
 #include "workload/analysis.hh"
 #include "workload/generator.hh"
 
@@ -36,10 +37,23 @@ runHotPages(const ExperimentPoint &point)
     AccessCountingMemory mem(4096);
     DramSystem off(DramSystem::Config::offchipPod());
     PodConfig pod_cfg;
+    // The bespoke pod still honors the sweep's telemetry flags:
+    // every quick-grid point must conserve interval sums.
+    pod_cfg.telemetry = point.cfg.pod.telemetry;
     PodSystem pod(pod_cfg, trace, mem, nullptr, off);
     PointResult out;
+    // The whole bespoke run is its measured window: one phase
+    // span keeps the fig12 lane consistent with standard points.
+    SpanTracer *tracer = point.tracer;
+    const std::uint64_t span_t0 = tracer ? tracer->nowUs() : 0;
     out.metrics = pod.run(
         0, static_cast<std::uint64_t>(12e6 * point.scale));
+    if (tracer)
+        tracer->span("phase", "measure:" + point.key(), span_t0,
+                     tracer->nowUs());
+    out.intervals = pod.intervals();
+    if (const TelemetryProbe *probe = pod.probe())
+        appendProbeExtras(*probe, out.extra);
     for (double f : kFractions) {
         out.extra.emplace_back(
             "ideal_mb_" + std::to_string(
@@ -91,7 +105,7 @@ registerFig12(ExperimentRegistry &reg)
             for (const auto &[name, value] : results[i].extra) {
                 if (name == "distinct_4kb_pages")
                     distinct = value;
-                else
+                else if (name.rfind("ideal_mb_", 0) == 0)
                     std::printf(" %8.1f", value);
             }
             std::printf("   (%.0f distinct 4KB pages)\n",

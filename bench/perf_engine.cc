@@ -29,6 +29,7 @@
  * speedup against that reference is reported too.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -219,6 +220,97 @@ runTraceBench(WorkloadKind wk, double scale, std::uint64_t seed,
     if (sink == 0x5eed)
         std::fprintf(stderr, "\n");
     return out;
+}
+
+/** One telemetry-overhead repetition: measured-phase wall clock
+ * with the probes on or off, plus what they produced. */
+struct TelemetryRep
+{
+    double measureSeconds = 0.0;
+    RunMetrics metrics;
+    std::vector<IntervalSample> intervals;
+};
+
+TelemetryRep
+runTelemetryRep(WorkloadKind wk, double scale, std::uint64_t seed,
+                std::uint64_t capacity_mb, bool telemetry)
+{
+    Experiment::Config cfg;
+    cfg.design = "footprint";
+    cfg.capacityMb = capacity_mb;
+    if (telemetry) {
+        // Both features on: every probe site and the epoch check
+        // are live, so this bounds the full enabled cost.
+        cfg.pod.telemetry.intervalRecords =
+            std::max<std::uint64_t>(1,
+                                    measureRecords(scale) / 32);
+        cfg.pod.telemetry.histograms = true;
+    }
+
+    WorkloadSpec spec = makeWorkload(wk, cfg.pageBytes, seed);
+    SyntheticTraceSource trace(spec);
+    Experiment exp(cfg, trace);
+
+    // A short warmup suffices: the overhead under test lives in
+    // the measured event-queue loop, not in cache fill quality.
+    exp.run(warmupRecords(64, scale), 0);
+
+    TelemetryRep out;
+    const auto t0 = std::chrono::steady_clock::now();
+    out.metrics = exp.run(0, measureRecords(scale));
+    out.measureSeconds = secondsSince(t0);
+    out.intervals = exp.pod().intervals();
+    return out;
+}
+
+bool
+metricsIdentical(const RunMetrics &x, const RunMetrics &y)
+{
+    return x.instructions == y.instructions &&
+           x.cycles == y.cycles &&
+           x.traceRecords == y.traceRecords &&
+           x.llcMisses == y.llcMisses &&
+           x.demandAccesses == y.demandAccesses &&
+           x.demandHits == y.demandHits &&
+           x.memLatencyCycles == y.memLatencyCycles &&
+           x.offchipBytes == y.offchipBytes &&
+           x.stackedBytes == y.stackedBytes &&
+           x.offchipActs == y.offchipActs &&
+           x.stackedActs == y.stackedActs;
+}
+
+/** Do the interval deltas sum bit-exactly to the aggregate? */
+bool
+intervalsConserve(const TelemetryRep &rep)
+{
+    if (rep.intervals.empty())
+        return false;
+    IntervalSample sum;
+    for (const IntervalSample &s : rep.intervals) {
+        sum.records += s.records;
+        sum.instructions += s.instructions;
+        sum.cycles += s.cycles;
+        sum.llcMisses += s.llcMisses;
+        sum.demandAccesses += s.demandAccesses;
+        sum.demandHits += s.demandHits;
+        sum.memLatencyCycles += s.memLatencyCycles;
+        sum.offchipBytes += s.offchipBytes;
+        sum.stackedBytes += s.stackedBytes;
+        sum.offchipActs += s.offchipActs;
+        sum.stackedActs += s.stackedActs;
+    }
+    const RunMetrics &m = rep.metrics;
+    return sum.records == m.traceRecords &&
+           sum.instructions == m.instructions &&
+           sum.cycles == static_cast<std::uint64_t>(m.cycles) &&
+           sum.llcMisses == m.llcMisses &&
+           sum.demandAccesses == m.demandAccesses &&
+           sum.demandHits == m.demandHits &&
+           sum.memLatencyCycles == m.memLatencyCycles &&
+           sum.offchipBytes == m.offchipBytes &&
+           sum.stackedBytes == m.stackedBytes &&
+           sum.offchipActs == m.offchipActs &&
+           sum.stackedActs == m.stackedActs;
 }
 
 bool
@@ -423,6 +515,56 @@ main(int argc, char **argv)
         tb.generateSeconds, tb.generateRecsPerSec(),
         tb.replaySeconds, tb.replayRecsPerSec(), tb.speedup());
 
+    // Telemetry hot-path overhead: interleaved off/on pairs (so
+    // thermal and frequency drift hit both sides equally), min of
+    // reps (the least-disturbed sample), full measured window
+    // with every probe live on the on side. The <2% budget is
+    // enforced by scripts/check_bench_regression.py.
+    constexpr int kTelemetryReps = 4;
+    double telemetry_off_min = 0.0, telemetry_on_min = 0.0;
+    bool telemetry_identical = true, telemetry_conserves = true;
+    for (int rep = 0; rep < kTelemetryReps; ++rep) {
+        const TelemetryRep off = runTelemetryRep(
+            wk, args.scale, args.seed, capacity_mb, false);
+        const TelemetryRep on = runTelemetryRep(
+            wk, args.scale, args.seed, capacity_mb, true);
+        if (rep == 0 || off.measureSeconds < telemetry_off_min)
+            telemetry_off_min = off.measureSeconds;
+        if (rep == 0 || on.measureSeconds < telemetry_on_min)
+            telemetry_on_min = on.measureSeconds;
+        telemetry_identical =
+            telemetry_identical &&
+            metricsIdentical(off.metrics, on.metrics);
+        telemetry_conserves =
+            telemetry_conserves && intervalsConserve(on);
+    }
+    const double telemetry_overhead_pct =
+        telemetry_off_min > 0.0
+            ? 100.0 * (telemetry_on_min - telemetry_off_min) /
+                  telemetry_off_min
+            : 0.0;
+    all_identical = all_identical && telemetry_identical;
+    std::printf("\ntelemetry overhead (footprint, intervals + "
+                "histograms, min of %d): %.2f%% "
+                "(off %.3fs, on %.3fs), metrics identical: %s, "
+                "intervals conserve: %s\n",
+                kTelemetryReps, telemetry_overhead_pct,
+                telemetry_off_min, telemetry_on_min,
+                telemetry_identical ? "yes" : "NO",
+                telemetry_conserves ? "yes" : "NO");
+    std::fprintf(
+        json,
+        "  \"telemetry\": {\"reps\": %d, "
+        "\"measure_seconds_off\": %.4f, "
+        "\"measure_seconds_on\": %.4f, "
+        "\"overhead_pct\": %.2f, "
+        "\"metrics_identical\": %s, "
+        "\"intervals_conserve\": %s},\n",
+        kTelemetryReps, telemetry_off_min, telemetry_on_min,
+        telemetry_overhead_pct,
+        telemetry_identical ? "true" : "false",
+        telemetry_conserves ? "true" : "false");
+
     std::fprintf(json,
                  "  \"footprint_wallclock_speedup\": %.3f,\n",
                  footprint_speedup);
@@ -454,7 +596,7 @@ main(int argc, char **argv)
                 all_identical ? "yes" : "NO");
     std::printf("wrote %s\n", out_path.c_str());
 
-    if (!all_identical)
+    if (!all_identical || !telemetry_conserves)
         return 1;
     return 0;
 }

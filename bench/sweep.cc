@@ -20,11 +20,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/fault.hh"
 #include "experiments/experiments.hh"
+#include "telemetry/timeseries.hh"
+#include "telemetry/trace_events.hh"
 
 using namespace fpcbench;
 
@@ -190,7 +193,11 @@ main(int argc, char **argv)
     }
 
     // Expand every selected experiment, then shard the
-    // concatenation as one batch.
+    // concatenation as one batch. Telemetry options apply
+    // uniformly to every point: interval streaming and histograms
+    // ride in each point's PodConfig.
+    const std::uint64_t interval_records =
+        opts.effectiveIntervalRecords();
     std::vector<ExperimentRun> runs;
     std::vector<ExperimentPoint> batch;
     for (const ExperimentDef &def : reg.all()) {
@@ -200,8 +207,12 @@ main(int argc, char **argv)
         run.name = def.name;
         run.title = def.title;
         run.points = def.build(opts);
-        for (const ExperimentPoint &p : run.points)
+        for (ExperimentPoint &p : run.points) {
+            p.cfg.pod.telemetry.intervalRecords =
+                interval_records;
+            p.cfg.pod.telemetry.histograms = opts.histograms;
             batch.push_back(p);
+        }
         runs.push_back(std::move(run));
     }
     if (runs.empty()) {
@@ -223,11 +234,17 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(opts.seed),
                 cache_desc.c_str());
 
+    std::unique_ptr<fpc::SpanTracer> tracer;
+    if (!opts.traceOut.empty())
+        tracer = std::make_unique<fpc::SpanTracer>();
+
     const auto t0 = std::chrono::steady_clock::now();
     SweepOutcome outcome;
     try {
-        outcome = runner.runResilient(
-            batch, ResilienceOptions::fromSweepOptions(opts));
+        ResilienceOptions res =
+            ResilienceOptions::fromSweepOptions(opts);
+        res.tracer = tracer.get();
+        outcome = runner.runResilient(batch, res);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ERROR: %s\n", e.what());
         return 1;
@@ -297,6 +314,38 @@ main(int argc, char **argv)
                 return 1;
             std::printf("wrote %s\n", opts.timeOut.c_str());
         }
+    }
+
+    // Telemetry artifacts are standalone files: the merged report
+    // below stays byte-identical whether or not they were asked
+    // for (--histograms is the one report-changing flag).
+    if (!opts.timeseriesOut.empty()) {
+        std::vector<fpc::PointSeries> series;
+        for (const ExperimentRun &run : runs) {
+            for (std::size_t i = 0; i < run.points.size(); ++i) {
+                if (run.results[i].failed ||
+                    run.results[i].intervals.empty())
+                    continue;
+                fpc::PointSeries s;
+                s.key = run.points[i].key();
+                s.workload =
+                    workloadName(run.points[i].workload);
+                s.intervals = run.results[i].intervals;
+                series.push_back(std::move(s));
+            }
+        }
+        const std::string ts_json = fpc::renderTimeseriesJson(
+            opts.scale, opts.seed, interval_records, series);
+        if (!writeTextFile(opts.timeseriesOut, ts_json))
+            return 1;
+        std::printf("wrote %s (%zu point series)\n",
+                    opts.timeseriesOut.c_str(), series.size());
+    }
+    if (tracer) {
+        if (!writeTextFile(opts.traceOut, tracer->render()))
+            return 1;
+        std::printf("wrote %s (%zu trace events)\n",
+                    opts.traceOut.c_str(), tracer->eventCount());
     }
 
     const std::string json = renderSweepJson(opts, runs);

@@ -28,12 +28,23 @@ must sum bit-exactly to the aggregate metric of the same point)
 and matrix coverage (--min-pairs workload pairs and --min-designs
 designs with paired points).
 
+Finally, --telemetry-json validates the `telemetry` section a
+full perf_engine run emits: interval streaming + histograms must
+cost at most --telemetry-budget-pct (default 2%) over the
+instrumentation-off run, the engine metrics must be bit-identical
+either way, and the interval deltas must conserve. The overhead
+number in the committed file was measured interleaved
+min-of-reps on an idle machine; the guard reads the file rather
+than re-timing, so it is deterministic on noisy CI runners.
+
 Usage:
   check_bench_regression.py --baseline BENCH_engine.json \
       --current quick1.json [quick2.json ...] \
       [--tolerance 0.15] [--relative]
   check_bench_regression.py --colocation-json sweep.json \
       [--min-pairs 3] [--min-designs 7]
+  check_bench_regression.py --telemetry-json BENCH_engine.json \
+      [--telemetry-budget-pct 2.0]
 """
 
 import argparse
@@ -106,6 +117,38 @@ def check_colocation(path, min_pairs, min_designs):
     return 0
 
 
+def check_telemetry_budget(path, budget_pct):
+    with open(path) as f:
+        doc = json.load(f)
+    tel = doc.get("telemetry")
+    if tel is None:
+        print(f"{path}: no telemetry section (regenerate "
+              f"BENCH_engine.json with a full perf_engine run)")
+        return 1
+    violations = 0
+    overhead = tel.get("overhead_pct", 1e9)
+    print(f"telemetry budget guard: overhead "
+          f"{overhead:+.2f}% over {tel.get('reps', '?')} rep(s) "
+          f"(off {tel.get('measure_seconds_off', 0):.3f}s, "
+          f"on {tel.get('measure_seconds_on', 0):.3f}s)")
+    if overhead > budget_pct:
+        print(f"FAIL: telemetry overhead {overhead:.2f}% exceeds "
+              f"the {budget_pct:.1f}% budget")
+        violations += 1
+    if not tel.get("metrics_identical", False):
+        print("FAIL: metrics diverged with telemetry enabled")
+        violations += 1
+    if not tel.get("intervals_conserve", False):
+        print("FAIL: interval deltas do not sum to aggregates")
+        violations += 1
+    if violations:
+        return 1
+    print(f"OK: telemetry costs {max(overhead, 0.0):.2f}% "
+          f"(budget {budget_pct:.1f}%), metrics identical, "
+          f"intervals conserve")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline")
@@ -115,18 +158,29 @@ def main():
     ap.add_argument("--colocation-json")
     ap.add_argument("--min-pairs", type=int, default=3)
     ap.add_argument("--min-designs", type=int, default=7)
+    ap.add_argument("--telemetry-json")
+    ap.add_argument("--telemetry-budget-pct", type=float,
+                    default=2.0)
     args = ap.parse_args()
 
     if args.baseline and not args.current:
         ap.error("--baseline needs at least one --current run")
+    rc = 0
+    if args.telemetry_json:
+        rc = check_telemetry_budget(args.telemetry_json,
+                                    args.telemetry_budget_pct)
+        if rc or (not args.baseline and not args.colocation_json):
+            return rc
     if args.colocation_json:
         rc = check_colocation(args.colocation_json,
                               args.min_pairs, args.min_designs)
         if rc or not args.baseline:
             return rc
     elif not args.baseline:
-        ap.error("--baseline/--current or --colocation-json "
-                 "is required")
+        if not args.telemetry_json:
+            ap.error("--baseline/--current, --colocation-json, "
+                     "or --telemetry-json is required")
+        return rc
 
     with open(args.baseline) as f:
         base = json.load(f)

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Render a sweep --timeseries-out artifact.
+
+Derives three per-epoch series for every point in the artifact:
+
+  hit_ratio      demand_hits / demand_accesses
+  avg_latency    mem_latency_cycles / demand_accesses (cycles)
+  offchip_gb     offchip_bytes / 2^30 per epoch
+
+With matplotlib available, writes one PNG per metric with a line
+per point key (`--out-dir`, default `timeseries_plots/`). Without
+it — the toolchain image carries no plotting stack — falls back to
+a tidy CSV per metric so the data is still consumable, and says so.
+
+`--tenant N` switches to that tenant's per-epoch columns (its
+hit ratio / latency / off-chip traffic), skipping points that have
+fewer tenants.
+
+Usage:
+  render_timeseries.py ts.json [--out-dir DIR] [--tenant N]
+                       [--points KEY_SUBSTR[,KEY_SUBSTR...]]
+"""
+
+import argparse
+import csv
+import json
+import os
+import sys
+
+METRICS = ("hit_ratio", "avg_latency", "offchip_gb")
+
+
+def derive(columns, tenant=False):
+    """Per-epoch derived series from raw interval columns."""
+    acc = columns["demand_accesses"]
+    hits = columns["demand_hits"]
+    lat = columns["mem_latency_cycles"]
+    off = columns["offchip_bytes"]
+    n = len(acc)
+    return {
+        "hit_ratio": [hits[i] / acc[i] if acc[i] else 0.0
+                      for i in range(n)],
+        "avg_latency": [lat[i] / acc[i] if acc[i] else 0.0
+                        for i in range(n)],
+        "offchip_gb": [b / float(1 << 30) for b in off],
+    }
+
+
+def select_series(doc, tenant, filters):
+    """-> list of (key, {metric: [per-epoch values]})."""
+    out = []
+    for point in doc.get("points", []):
+        key = point["key"]
+        if filters and not any(f in key for f in filters):
+            continue
+        if tenant is None:
+            out.append((key, derive(point["columns"])))
+            continue
+        match = [t for t in point.get("tenants", [])
+                 if t["tenant"] == tenant]
+        if not match:
+            print(f"skip {key}: no tenant {tenant}")
+            continue
+        out.append((key, derive(match[0]["columns"],
+                                tenant=True)))
+    return out
+
+
+def write_csv(series, metric, interval_records, path):
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["key", "epoch", "records_end", metric])
+        for key, derived in series:
+            for i, v in enumerate(derived[metric]):
+                w.writerow([key, i,
+                            (i + 1) * interval_records,
+                            f"{v:.6g}"])
+
+
+def write_png(plt, series, metric, interval_records, path):
+    fig, ax = plt.subplots(figsize=(8, 4.5))
+    for key, derived in series:
+        vals = derived[metric]
+        xs = [(i + 1) * interval_records / 1e6
+              for i in range(len(vals))]
+        ax.plot(xs, vals, label=key, linewidth=1.0)
+    ax.set_xlabel("records replayed (millions)")
+    ax.set_ylabel(metric.replace("_", " "))
+    ax.set_title(f"{metric} per interval")
+    ax.grid(True, alpha=0.3)
+    if len(series) <= 12:
+        ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    plt.close(fig)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("timeseries")
+    ap.add_argument("--out-dir", default="timeseries_plots")
+    ap.add_argument("--tenant", type=int, default=None)
+    ap.add_argument("--points", default="",
+                    help="comma-separated key substrings")
+    args = ap.parse_args()
+
+    with open(args.timeseries) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "sweep_timeseries":
+        print(f"{args.timeseries}: not a sweep_timeseries "
+              f"artifact")
+        return 1
+    interval_records = doc.get("interval_records", 1)
+    filters = [p for p in args.points.split(",") if p]
+    series = select_series(doc, args.tenant, filters)
+    if not series:
+        print("no point series selected")
+        return 1
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    suffix = (f"_tenant{args.tenant}"
+              if args.tenant is not None else "")
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib unavailable; writing CSV instead")
+
+    for metric in METRICS:
+        base = os.path.join(args.out_dir, f"{metric}{suffix}")
+        if plt is not None:
+            write_png(plt, series, metric, interval_records,
+                      base + ".png")
+            print(f"wrote {base}.png")
+        else:
+            write_csv(series, metric, interval_records,
+                      base + ".csv")
+            print(f"wrote {base}.csv")
+    print(f"rendered {len(series)} point series x "
+          f"{len(METRICS)} metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

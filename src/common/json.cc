@@ -1,0 +1,51 @@
+/** @file Shared JSON-emission helpers (see json.hh). */
+
+#include "common/json.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fpc {
+
+void
+appendFmt(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                appendFmt(out, "\\u%04x",
+                          static_cast<unsigned char>(c));
+            else
+                out += c;
+        }
+    }
+}
+
+} // namespace fpc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Tiny shared JSON-emission helpers.
+ *
+ * Every report in the repo is hand-rendered JSON (byte-identity
+ * across job counts and cache modes is a load-bearing property, so
+ * the renderers control every byte). These two helpers used to
+ * live in sweep.cc's anonymous namespace; the telemetry subsystem
+ * and the StatGroup JSON dump need them too, so they are shared
+ * here rather than re-implemented per renderer.
+ */
+
+#ifndef FPC_COMMON_JSON_HH
+#define FPC_COMMON_JSON_HH
+
+#include <string>
+
+namespace fpc {
+
+/** printf-append onto a std::string (formatted output ≤ 255 B). */
+void appendFmt(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * JSON string escaping, including control characters: failure
+ * records and span names embed exception text and point keys,
+ * which can carry newlines or tabs from errno strings and
+ * assertion messages — emitting those raw would corrupt the whole
+ * report.
+ */
+void appendJsonEscaped(std::string &out, const std::string &s);
+
+} // namespace fpc
+
+#endif // FPC_COMMON_JSON_HH

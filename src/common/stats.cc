@@ -1,11 +1,48 @@
 #include "common/stats.hh"
 
 #include <cmath>
-#include <iomanip>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace fpc {
+
+double
+Log2Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return static_cast<double>(minValue());
+    if (p >= 100.0)
+        return static_cast<double>(maxValue());
+
+    const double rank = p / 100.0 * static_cast<double>(total_);
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < kNumBuckets; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const std::uint64_t prev = cum;
+        cum += counts_[i];
+        if (static_cast<double>(cum) < rank)
+            continue;
+
+        // Interpolate linearly inside the bucket, clamping the
+        // bucket bounds to the observed value range so the tails
+        // stay inside [min, max] even for the widest buckets.
+        double lo = static_cast<double>(bucketLow(i));
+        double hi = static_cast<double>(bucketHigh(i));
+        lo = std::max(lo, static_cast<double>(minValue()));
+        hi = std::min(hi, static_cast<double>(maxValue()));
+        if (hi <= lo)
+            return lo;
+        const double frac =
+            (rank - static_cast<double>(prev)) /
+            static_cast<double>(counts_[i]);
+        return lo + (hi - lo) * frac;
+    }
+    return static_cast<double>(maxValue());
+}
 
 const Counter *
 StatGroup::findCounter(const std::string &name) const
@@ -28,16 +65,123 @@ StatGroup::findAccum(const std::string &name) const
 }
 
 void
+StatGroup::visit(StatVisitor &v) const
+{
+    for (const auto &e : counters_)
+        v.counter(e.name, e.desc, e.stat->value());
+    for (const auto &e : accums_)
+        v.accum(e.name, e.desc, e.stat->value());
+    for (const auto &e : histograms_)
+        v.histogram(e.name, e.desc, *e.stat);
+    for (const auto &e : log2_histograms_)
+        v.log2Histogram(e.name, e.desc, *e.stat);
+}
+
+namespace {
+
+/**
+ * Emit the non-empty prefix of a histogram's bucket array: log2
+ * histograms have 65 buckets but almost all trailing ones are
+ * zero, so truncating after the last non-zero bucket keeps dumps
+ * readable without losing information.
+ */
+template <typename H>
+void
+appendBuckets(std::string &out, const H &h)
+{
+    unsigned last = 0;
+    for (unsigned i = 0; i < h.numBuckets(); ++i) {
+        if (h.bucket(i) != 0)
+            last = i + 1;
+    }
+    out += '[';
+    for (unsigned i = 0; i < last; ++i) {
+        if (i)
+            out += ',';
+        appendFmt(out, "%llu",
+                  static_cast<unsigned long long>(h.bucket(i)));
+    }
+    out += ']';
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::string &out) const
+{
+    out += "{\"group\": \"";
+    appendJsonEscaped(out, name_);
+    out += "\", \"counters\": {";
+    bool first = true;
+    for (const auto &e : counters_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        appendJsonEscaped(out, e.name);
+        appendFmt(out, "\": %llu",
+                  static_cast<unsigned long long>(e.stat->value()));
+    }
+    out += "}, \"accums\": {";
+    first = true;
+    for (const auto &e : accums_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        appendJsonEscaped(out, e.name);
+        appendFmt(out, "\": %.6f", e.stat->value());
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const auto &e : histograms_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        appendJsonEscaped(out, e.name);
+        appendFmt(
+            out,
+            "\": {\"bucket_width\": %llu, \"total\": %llu, "
+            "\"mean\": %.6f, \"buckets\": ",
+            static_cast<unsigned long long>(e.stat->bucketWidth()),
+            static_cast<unsigned long long>(
+                e.stat->totalSamples()),
+            e.stat->mean());
+        appendBuckets(out, *e.stat);
+        out += '}';
+    }
+    out += "}, \"log2_histograms\": {";
+    first = true;
+    for (const auto &e : log2_histograms_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        appendJsonEscaped(out, e.name);
+        appendFmt(
+            out,
+            "\": {\"total\": %llu, \"min\": %llu, \"max\": %llu, "
+            "\"mean\": %.6f, \"p50\": %.6f, \"p95\": %.6f, "
+            "\"p99\": %.6f, \"buckets\": ",
+            static_cast<unsigned long long>(
+                e.stat->totalSamples()),
+            static_cast<unsigned long long>(e.stat->minValue()),
+            static_cast<unsigned long long>(e.stat->maxValue()),
+            e.stat->mean(), e.stat->percentile(50.0),
+            e.stat->percentile(95.0), e.stat->percentile(99.0));
+        appendBuckets(out, *e.stat);
+        out += '}';
+    }
+    out += "}}";
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
-    for (const auto &e : counters_) {
-        os << name_ << '.' << e.name << ' ' << e.stat->value()
-           << "  # " << e.desc << '\n';
-    }
-    for (const auto &e : accums_) {
-        os << name_ << '.' << e.name << ' ' << std::setprecision(6)
-           << e.stat->value() << "  # " << e.desc << '\n';
-    }
+    std::string out;
+    dumpJson(out);
+    os << out << '\n';
 }
 
 void
@@ -46,6 +190,10 @@ StatGroup::resetAll()
     for (auto &e : counters_)
         e.stat->reset();
     for (auto &e : accums_)
+        e.stat->reset();
+    for (auto &e : histograms_)
+        e.stat->reset();
+    for (auto &e : log2_histograms_)
         e.stat->reset();
 }
 

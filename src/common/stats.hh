@@ -12,6 +12,7 @@
 #ifndef FPC_COMMON_STATS_HH
 #define FPC_COMMON_STATS_HH
 
+#include <bit>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -108,6 +109,144 @@ class Histogram
 };
 
 /**
+ * Histogram with power-of-two (log2) buckets over the full
+ * uint64 range: bucket i counts values whose bit width is i, i.e.
+ * bucket 0 holds the value 0 and bucket i (i >= 1) holds
+ * [2^(i-1), 2^i - 1]. The wide dynamic range of memory-access
+ * latencies (an L2-adjacent stacked hit vs a bank-conflicted
+ * off-chip miss) fits in 65 fixed buckets with one shift per
+ * sample — cheap enough for the telemetry hot path.
+ */
+class Log2Histogram
+{
+  public:
+    /** bit_width ranges over [0, 64]. */
+    static constexpr unsigned kNumBuckets = 65;
+
+    Log2Histogram() = default;
+
+    void
+    sample(std::uint64_t value, std::uint64_t weight = 1)
+    {
+        counts_[std::bit_width(value)] += weight;
+        if (total_ == 0 || value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+        total_ += weight;
+        sum_ += value * weight;
+    }
+
+    std::uint64_t totalSamples() const { return total_; }
+    std::uint64_t bucket(unsigned i) const { return counts_[i]; }
+    unsigned numBuckets() const { return kNumBuckets; }
+
+    /** Smallest / largest value sampled (0 when empty). */
+    std::uint64_t minValue() const { return total_ ? min_ : 0; }
+    std::uint64_t maxValue() const { return max_; }
+
+    double
+    mean() const
+    {
+        return total_ ? static_cast<double>(sum_) / total_ : 0.0;
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static std::uint64_t
+    bucketLow(unsigned i)
+    {
+        return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+    }
+
+    /** Inclusive upper bound of bucket @p i. */
+    static std::uint64_t
+    bucketHigh(unsigned i)
+    {
+        if (i == 0)
+            return 0;
+        if (i >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << i) - 1;
+    }
+
+    /**
+     * Percentile estimate for @p p in [0, 100]: find the bucket
+     * containing the target rank and interpolate linearly inside
+     * it, clamped to the observed [min, max]. Deterministic
+     * (fixed-order double arithmetic over integer counts), so
+     * reported percentiles are byte-stable across runs.
+     */
+    double percentile(double p) const;
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        total_ = 0;
+        sum_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::uint64_t counts_[kNumBuckets] = {};
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Read-only visitor over a StatGroup's registered statistics, in
+ * registration order. Lets telemetry and reporters consume stats
+ * generically instead of probing ad-hoc name strings through
+ * findCounter/findAccum.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void
+    counter(const std::string &name, const std::string &desc,
+            std::uint64_t value)
+    {
+        (void)name;
+        (void)desc;
+        (void)value;
+    }
+
+    virtual void
+    accum(const std::string &name, const std::string &desc,
+          double value)
+    {
+        (void)name;
+        (void)desc;
+        (void)value;
+    }
+
+    virtual void
+    histogram(const std::string &name, const std::string &desc,
+              const Histogram &h)
+    {
+        (void)name;
+        (void)desc;
+        (void)h;
+    }
+
+    virtual void
+    log2Histogram(const std::string &name,
+                  const std::string &desc,
+                  const Log2Histogram &h)
+    {
+        (void)name;
+        (void)desc;
+        (void)h;
+    }
+};
+
+/**
  * A named collection of statistics owned by one component.
  *
  * Registration stores non-owning pointers: the registered objects
@@ -133,13 +272,41 @@ class StatGroup
         accums_.push_back({a, std::move(name), std::move(desc)});
     }
 
+    void
+    regHistogram(Histogram *h, std::string name, std::string desc)
+    {
+        histograms_.push_back(
+            {h, std::move(name), std::move(desc)});
+    }
+
+    void
+    regLog2Histogram(Log2Histogram *h, std::string name,
+                     std::string desc)
+    {
+        log2_histograms_.push_back(
+            {h, std::move(name), std::move(desc)});
+    }
+
     /** Find a counter by name; returns nullptr when absent. */
     const Counter *findCounter(const std::string &name) const;
 
     /** Find an accumulator by name; returns nullptr when absent. */
     const Accum *findAccum(const std::string &name) const;
 
-    /** Write "group.name value  # desc" lines for all stats. */
+    /** Visit every registered stat in registration order. */
+    void visit(StatVisitor &v) const;
+
+    /**
+     * Write the group as one valid JSON object:
+     * {"group": ..., "counters": {...}, "accums": {...},
+     *  "histograms": {name: {"total": N, "mean": X,
+     *  "buckets": [...]}}, ...}. Names and descriptions go
+     * through appendJsonEscaped, so arbitrary component names
+     * cannot corrupt a report that embeds the dump.
+     */
+    void dumpJson(std::string &out) const;
+
+    /** Convenience overload: dumpJson plus a trailing newline. */
     void dump(std::ostream &os) const;
 
     /** Reset every registered statistic. */
@@ -159,6 +326,8 @@ class StatGroup
     std::string name_;
     std::vector<Entry<Counter>> counters_;
     std::vector<Entry<Accum>> accums_;
+    std::vector<Entry<Histogram>> histograms_;
+    std::vector<Entry<Log2Histogram>> log2_histograms_;
 };
 
 /** Geometric mean of a vector of positive values. */

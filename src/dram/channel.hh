@@ -127,6 +127,24 @@ class DramChannel
                static_cast<std::int64_t>(now);
     }
 
+    /**
+     * Banks still inside a reserved activate window at @p now
+     * (their earliest precharge lies in the future) — the
+     * occupancy sampled by the telemetry bank-occupancy
+     * histogram. O(numBanks); called only on the branch-guarded
+     * telemetry path, never in the default hot loop.
+     */
+    unsigned
+    busyBanks(Cycle now) const
+    {
+        unsigned busy = 0;
+        for (const Bank &b : banks_) {
+            if (b.nextPreAllowed > now)
+                ++busy;
+        }
+        return busy;
+    }
+
   private:
     struct Bank
     {

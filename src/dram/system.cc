@@ -142,6 +142,15 @@ DramSystem::resetTiming()
         ch->resetTiming();
 }
 
+unsigned
+DramSystem::busyBanks(Cycle now) const
+{
+    unsigned busy = 0;
+    for (const auto &ch : channels_)
+        busy += ch->busyBanks(now);
+    return busy;
+}
+
 std::uint64_t
 DramSystem::totalActivates() const
 {

@@ -98,6 +98,9 @@ class DramSystem
         return *channels_[i];
     }
 
+    /** Banks busy across all channels at @p now (telemetry). */
+    unsigned busyBanks(Cycle now) const;
+
     /** Aggregates across channels. */
     std::uint64_t totalActivates() const;
     std::uint64_t totalRowHits() const;

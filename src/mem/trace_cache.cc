@@ -39,6 +39,8 @@ TraceCache::takeLocked(
         // rather than accumulating the whole sweep's history.
         bytes_ -= slot.entry->cacheBytes();
         ++stats_.released;
+        if (hook_)
+            hook_("release", it->first);
         slots_.erase(it);
     }
     return out;
@@ -108,6 +110,8 @@ TraceCache::acquire(const std::string &key,
         throw std::runtime_error(
             "TraceCache builder returned null for key " + key);
     }
+    if (hook_)
+        hook_("build", key);
 
     lock.lock();
     stats_.buildSeconds += seconds;
@@ -144,6 +148,8 @@ TraceCache::evictLocked()
             return; // everything pinned: allow the overshoot
         bytes_ -= victim->second.entry->cacheBytes();
         ++stats_.evictions;
+        if (hook_)
+            hook_("evict", victim->first);
         slots_.erase(victim);
     }
 }

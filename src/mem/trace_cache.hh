@@ -96,6 +96,21 @@ class TraceCache
     explicit TraceCache(std::uint64_t budget_bytes);
 
     /**
+     * Lifecycle-event hook: invoked with ("build", key) after a
+     * successful build, ("evict", key) when the LRU sweep drops
+     * an entry and ("release", key) when the last planned use is
+     * served. Wired by the sweep runner into the span tracer
+     * (--trace-out); purely observational — never affects cache
+     * behavior or results. Set it before any concurrent
+     * acquire() (not synchronized against in-flight calls).
+     * "evict"/"release" fire under the cache mutex, so the hook
+     * must not reenter the cache.
+     */
+    using EventHook =
+        std::function<void(const char *, const std::string &)>;
+    void setEventHook(EventHook hook) { hook_ = std::move(hook); }
+
+    /**
      * Record one future acquire() of @p key needing at least
      * @p units (for trace arenas: records). Builders receive the
      * maximum planned over all callers, so one build covers every
@@ -161,6 +176,7 @@ class TraceCache
     std::uint64_t bytes_ = 0;
     std::uint64_t tick_ = 0;
     TraceCacheStats stats_;
+    EventHook hook_;
 };
 
 } // namespace fpc

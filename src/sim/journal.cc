@@ -20,7 +20,9 @@ namespace fpc {
 
 namespace {
 
-constexpr const char *kMagic = "fpcjournal 1";
+// v2 added the telemetry intervals section. v1 entries fail the
+// magic check and the point simply re-runs — safe by design.
+constexpr const char *kMagic = "fpcjournal 2";
 constexpr const char *kSuffix = ".pt";
 
 /** FNV-1a (matches the sweep key hash). */
@@ -255,6 +257,29 @@ SweepJournal::serialize(const ExperimentPoint &point,
               r.timing.generatedTrace ? 1u : 0u,
               r.timing.replayedWarmup ? 1u : 0u,
               r.timing.builtWarmup ? 1u : 0u);
+    appendFmt(out, "\nintervals %zu", r.intervals.size());
+    for (const IntervalSample &iv : r.intervals) {
+        appendFmt(out,
+                  "\ninterval %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %zu",
+                  iv.records, iv.instructions, iv.cycles,
+                  iv.llcMisses, iv.demandAccesses, iv.demandHits,
+                  iv.memLatencyCycles, iv.offchipBytes,
+                  iv.stackedBytes, iv.offchipActs,
+                  iv.stackedActs, iv.tenants.size());
+        for (const TenantMetrics &t : iv.tenants) {
+            appendFmt(out,
+                      "\nitenant %" PRIu64 " %" PRIu64 " %" PRIu64
+                      " %" PRIu64 " %" PRIu64 " %" PRIu64
+                      " %" PRIu64,
+                      t.traceRecords, t.instructions,
+                      t.llcMisses, t.demandAccesses,
+                      t.demandHits, t.memLatencyCycles,
+                      t.offchipBytes);
+        }
+    }
     out += "\nend\n";
     return out;
 }
@@ -368,6 +393,37 @@ SweepJournal::parse(const std::string &text, std::string &key,
     r.timing.generatedTrace = flags[1] != 0;
     r.timing.replayedWarmup = flags[2] != 0;
     r.timing.builtWarmup = flags[3] != 0;
+
+    in.skipSpace();
+    if (!in.literal("intervals") || !in.u64(count) ||
+        count > 1u << 24)
+        return false;
+    r.intervals.resize(count);
+    for (IntervalSample &iv : r.intervals) {
+        std::uint64_t tenant_count = 0;
+        in.skipSpace();
+        if (!in.literal("interval") || !in.u64(iv.records) ||
+            !in.u64(iv.instructions) || !in.u64(iv.cycles) ||
+            !in.u64(iv.llcMisses) || !in.u64(iv.demandAccesses) ||
+            !in.u64(iv.demandHits) ||
+            !in.u64(iv.memLatencyCycles) ||
+            !in.u64(iv.offchipBytes) || !in.u64(iv.stackedBytes) ||
+            !in.u64(iv.offchipActs) || !in.u64(iv.stackedActs) ||
+            !in.u64(tenant_count) || tenant_count > 4096)
+            return false;
+        iv.tenants.resize(tenant_count);
+        for (TenantMetrics &t : iv.tenants) {
+            in.skipSpace();
+            if (!in.literal("itenant") ||
+                !in.u64(t.traceRecords) ||
+                !in.u64(t.instructions) || !in.u64(t.llcMisses) ||
+                !in.u64(t.demandAccesses) ||
+                !in.u64(t.demandHits) ||
+                !in.u64(t.memLatencyCycles) ||
+                !in.u64(t.offchipBytes))
+                return false;
+        }
+    }
 
     in.skipSpace();
     if (!in.literal("end"))

@@ -24,6 +24,8 @@ PodSystem::PodSystem(const PodConfig &config, TraceSource &trace,
         // system itself.
         offchip_.enableTenantAccounting(config_.numTenants);
     }
+    if (config_.telemetry.histograms)
+        probe_ = std::make_unique<TelemetryProbe>();
 }
 
 PodSystem::Snapshot
@@ -344,10 +346,65 @@ PodSystem::applyWarmup(const WarmupArtifact &artifact)
     offchip_.resetTiming();
 }
 
+void
+PodSystem::recordInterval(Snapshot &prev, Cycle now)
+{
+    const Snapshot cur = capture(now);
+    IntervalSample s;
+    s.records = cur.records - prev.records;
+    s.instructions = cur.instructions - prev.instructions;
+    s.cycles = cur.now - prev.now;
+    s.llcMisses = cur.llcMisses - prev.llcMisses;
+    s.demandAccesses = cur.demandAccesses - prev.demandAccesses;
+    s.demandHits = cur.demandHits - prev.demandHits;
+    s.memLatencyCycles = cur.memLatency - prev.memLatency;
+    s.offchipBytes = cur.offchipBytes - prev.offchipBytes;
+    s.stackedBytes = cur.stackedBytes - prev.stackedBytes;
+    s.offchipActs = cur.offchipActs - prev.offchipActs;
+    s.stackedActs = cur.stackedActs - prev.stackedActs;
+    s.tenants.resize(cur.tenants.size());
+    for (std::size_t t = 0; t < cur.tenants.size(); ++t) {
+        TenantMetrics &tm = s.tenants[t];
+        const TenantMetrics &e = cur.tenants[t];
+        const TenantMetrics &p = prev.tenants[t];
+        tm.traceRecords = e.traceRecords - p.traceRecords;
+        tm.instructions = e.instructions - p.instructions;
+        tm.llcMisses = e.llcMisses - p.llcMisses;
+        tm.demandAccesses = e.demandAccesses - p.demandAccesses;
+        tm.demandHits = e.demandHits - p.demandHits;
+        tm.memLatencyCycles =
+            e.memLatencyCycles - p.memLatencyCycles;
+        tm.offchipBytes = e.offchipBytes - p.offchipBytes;
+    }
+    intervals_.push_back(std::move(s));
+    prev = cur;
+}
+
 Cycle
-PodSystem::runMeasure(std::uint64_t measure_refs)
+PodSystem::runMeasure(std::uint64_t measure_refs, bool measured)
 {
     const std::uint64_t stop = total_records_ + measure_refs;
+
+    // Interval epochs close on the pod-global record counter —
+    // per-point work is single-threaded and record consumption
+    // is in stream order, so boundaries are deterministic and
+    // independent of the sweep's job count. Integer deltas
+    // telescope: summing the intervals reproduces run()'s
+    // aggregate deltas bit-exactly because the first prev here
+    // and run()'s start snapshot are the same capture(0), and
+    // the final close below matches its end capture.
+    const std::uint64_t interval =
+        measured ? config_.telemetry.intervalRecords : 0;
+    std::uint64_t next_boundary =
+        interval ? total_records_ + interval : 0;
+    Snapshot prev;
+    if (interval)
+        prev = capture(0);
+
+    // Hot-path distribution probe: one predictable null test per
+    // site when telemetry is off.
+    TelemetryProbe *probe = measured ? probe_.get() : nullptr;
+    DramSystem *occupancy_dram = stacked_ ? stacked_ : &offchip_;
 
     EventQueue<unsigned> ready;
     for (unsigned c = 0; c < config_.numCores; ++c)
@@ -437,11 +494,19 @@ PodSystem::runMeasure(std::uint64_t measure_refs)
             const Cycle mem_issue = issue_at +
                                     config_.l1HitLatency +
                                     config_.l2HitLatency;
+            if (probe && probe->tickBankSample())
+                probe->sampleBankOccupancy(
+                    occupancy_dram->busyBanks(mem_issue));
             MemSystemResult res =
                 memory_.access(mem_issue, rec.req);
             ready_at = res.doneAt;
             if (res.doneAt > mem_issue)
                 total_mem_latency_ += res.doneAt - mem_issue;
+            if (probe)
+                probe->sampleAccessLatency(
+                    res.doneAt > mem_issue
+                        ? res.doneAt - mem_issue
+                        : 0);
             if (tm) {
                 ++tm->demandAccesses;
                 tm->demandHits += res.cacheHit ? 1 : 0;
@@ -488,12 +553,27 @@ PodSystem::runMeasure(std::uint64_t measure_refs)
                 win[oldest] = win[--n];
             }
             depth[core] = n;
+            if (probe)
+                probe->sampleMlpWindow(n);
         }
 
         ready.schedule(ready_at, core);
+
+        if (interval && total_records_ >= next_boundary) {
+            recordInterval(prev, now);
+            next_boundary = total_records_ + interval;
+        }
     }
     if (span_pos > 0)
         trace_.skip(span_pos);
+
+    // Close the final (possibly partial) epoch so the intervals
+    // always sum to the aggregate. `now` can advance past the
+    // last boundary even with zero records (exhausted-trace event
+    // pops), so cycles participate in the emptiness test.
+    if (interval &&
+        (total_records_ != prev.records || now != prev.now))
+        recordInterval(prev, now);
     return now;
 }
 
@@ -505,8 +585,9 @@ PodSystem::run(std::uint64_t warmup_refs,
         if (config_.allTimedWarmup) {
             // Legacy all-timed engine: warmup pays the full
             // event-queue timing loop. Drain the channels at the
-            // boundary as the lightweight paths do.
-            runMeasure(warmup_refs);
+            // boundary as the lightweight paths do. Not a
+            // measured window: telemetry stays quiet.
+            runMeasure(warmup_refs, false);
             if (stacked_)
                 stacked_->resetTiming();
             offchip_.resetTiming();
@@ -516,7 +597,7 @@ PodSystem::run(std::uint64_t warmup_refs,
     }
 
     const Snapshot start = capture(0);
-    const Cycle end_now = runMeasure(measure_refs);
+    const Cycle end_now = runMeasure(measure_refs, true);
     const Snapshot end = capture(end_now);
 
     RunMetrics m;

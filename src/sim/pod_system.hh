@@ -42,6 +42,7 @@
 #include "mem/materialized_trace.hh"
 #include "mem/trace.hh"
 #include "mem/trace_cache.hh"
+#include "telemetry/telemetry.hh"
 #include "tenant/tenant.hh"
 
 namespace fpc {
@@ -106,6 +107,14 @@ struct PodConfig
      * artifact cache keys: it never affects simulated state.
      */
     const std::atomic<bool> *cancel = nullptr;
+
+    /**
+     * Telemetry knobs (interval streaming, hot-path histograms).
+     * Default-constructed = fully off: no probe is allocated, no
+     * intervals are recorded, and measured metrics are
+     * bit-identical to a telemetry-free engine.
+     */
+    TelemetryConfig telemetry;
 
     CacheHierarchy::Config hierarchy =
         CacheHierarchy::Config::scaleOutPod();
@@ -312,6 +321,21 @@ class PodSystem
     /** Records consumed so far (all phases, all run() calls). */
     std::uint64_t totalRecords() const { return total_records_; }
 
+    /**
+     * Interval samples accumulated by measured windows (empty
+     * unless TelemetryConfig::intervalRecords is set). Deltas sum
+     * bit-exactly, field by field, to the RunMetrics aggregates
+     * of the run() calls that produced them.
+     */
+    const std::vector<IntervalSample> &
+    intervals() const
+    {
+        return intervals_;
+    }
+
+    /** Hot-path probe (null unless histograms are enabled). */
+    const TelemetryProbe *probe() const { return probe_.get(); }
+
   private:
     struct Snapshot
     {
@@ -342,8 +366,20 @@ class PodSystem
      */
     void runWarmup(std::uint64_t warmup_refs);
 
-    /** Full OoO/MLP timing loop; returns the final cycle. */
-    Cycle runMeasure(std::uint64_t measure_refs);
+    /**
+     * Full OoO/MLP timing loop; returns the final cycle.
+     * @p measured marks a real measurement window: only then do
+     * the telemetry interval stream and histograms accumulate
+     * (the all-timed legacy warmup reuses this loop and must not
+     * pollute them).
+     */
+    Cycle runMeasure(std::uint64_t measure_refs, bool measured);
+
+    /**
+     * Close the current interval at @p now: append the deltas
+     * since @p prev to intervals_ and advance prev.
+     */
+    void recordInterval(Snapshot &prev, Cycle now);
 
     PodConfig config_;
     TraceSource &trace_;
@@ -363,6 +399,12 @@ class PodSystem
      * off-chip DramSystem and merged in at capture().
      */
     std::vector<TenantMetrics> tenant_totals_;
+
+    /** Interval stream across measured windows (telemetry). */
+    std::vector<IntervalSample> intervals_;
+
+    /** Allocated only when telemetry histograms are on. */
+    std::unique_ptr<TelemetryProbe> probe_;
 };
 
 } // namespace fpc

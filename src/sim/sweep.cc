@@ -6,7 +6,6 @@
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
-#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,9 +19,11 @@
 #include <unordered_set>
 
 #include "common/fault.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "mem/materialized_trace.hh"
 #include "sim/journal.hh"
+#include "telemetry/trace_events.hh"
 #include "workload/generator.hh"
 
 namespace fpc {
@@ -64,6 +65,18 @@ SweepOptions::traceCacheConfig() const
     cfg.enabled = traceCache;
     cfg.budgetBytes = traceCacheMb << 20;
     return cfg;
+}
+
+std::uint64_t
+SweepOptions::effectiveIntervalRecords() const
+{
+    if (intervalRecords)
+        return intervalRecords;
+    if (timeseriesOut.empty())
+        return 0;
+    // --timeseries-out without an explicit epoch length: ~32
+    // epochs over the measured window.
+    return std::max<std::uint64_t>(1, measureRecords(scale) / 32);
 }
 
 ResilienceOptions
@@ -131,6 +144,18 @@ parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
     } else if (!std::strcmp(argv[i], "--fault-plan") &&
                i + 1 < argc) {
         opts.faultPlan = argv[++i];
+    } else if (!std::strcmp(argv[i], "--interval-records") &&
+               i + 1 < argc) {
+        opts.intervalRecords =
+            std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--histograms")) {
+        opts.histograms = true;
+    } else if (!std::strcmp(argv[i], "--timeseries-out") &&
+               i + 1 < argc) {
+        opts.timeseriesOut = argv[++i];
+    } else if (!std::strcmp(argv[i], "--trace-out") &&
+               i + 1 < argc) {
+        opts.traceOut = argv[++i];
     } else {
         return false;
     }
@@ -143,7 +168,9 @@ const char *kCommonFlagsUsage =
     "[--jobs N] [--no-trace-cache] [--trace-cache-mb N] "
     "[--time] [--time-out FILE] "
     "[--journal DIR] [--resume] [--retries N] [--backoff-ms N] "
-    "[--point-deadline-s F] [--fault-plan PLAN]";
+    "[--point-deadline-s F] [--fault-plan PLAN] "
+    "[--interval-records N] [--histograms] "
+    "[--timeseries-out FILE] [--trace-out FILE]";
 
 bool
 checkWorkloadFilter(const SweepOptions &opts)
@@ -389,10 +416,12 @@ runPoint(const ExperimentPoint &point)
     PointResult out;
     const std::uint64_t warm = point.warmupWindow();
     const std::uint64_t measure = measureRecords(point.scale);
+    SpanTracer *tracer = point.tracer;
 
     // Trace acquisition: replay the shared arena when a cache is
     // wired in, otherwise generate a fresh stream (the two are
     // bit-identical; tests/test_trace_cache.cc).
+    std::uint64_t span_t0 = tracer ? tracer->nowUs() : 0;
     auto t0 = std::chrono::steady_clock::now();
     std::unique_ptr<ReplayTraceSource> replay;
     std::unique_ptr<SyntheticTraceSource> fresh;
@@ -427,12 +456,16 @@ runPoint(const ExperimentPoint &point)
         trace = fresh.get();
     }
     out.timing.traceSeconds = secondsSince(t0);
+    if (tracer)
+        tracer->span("phase", "trace:" + point.key(), span_t0,
+                     tracer->nowUs());
 
     Experiment exp(point.cfg, *trace);
 
     // Warmup: the default functional warmup is design-independent
     // given the trace, so replay points share one WarmupArtifact
     // (hierarchy snapshot + post-L2 op stream) per warm window.
+    span_t0 = tracer ? tracer->nowUs() : 0;
     t0 = std::chrono::steady_clock::now();
     if (arena != nullptr && warmupArtifactEligible(point, warm)) {
         bool built = false;
@@ -457,10 +490,28 @@ runPoint(const ExperimentPoint &point)
         exp.run(warm, 0);
     }
     out.timing.warmupSeconds = secondsSince(t0);
+    if (tracer)
+        tracer->span(
+            "phase",
+            (out.timing.replayedWarmup ? "warmup-restore:"
+                                       : "warmup:") +
+                point.key(),
+            span_t0, tracer->nowUs());
 
+    span_t0 = tracer ? tracer->nowUs() : 0;
     t0 = std::chrono::steady_clock::now();
     out.metrics = exp.run(0, measure);
     out.timing.measureSeconds = secondsSince(t0);
+    if (tracer)
+        tracer->span("phase", "measure:" + point.key(), span_t0,
+                     tracer->nowUs());
+
+    // Telemetry harvest: the interval stream rides the result
+    // into the --timeseries-out artifact (and the journal); the
+    // probe's percentile summary becomes report extras.
+    out.intervals = exp.pod().intervals();
+    if (const TelemetryProbe *probe = exp.pod().probe())
+        appendProbeExtras(*probe, out.extra);
 
     if (FootprintCache *fc = exp.footprintCache()) {
         fc->finalizeResidency();
@@ -626,6 +677,19 @@ SweepRunner::runResilient(
         }
     }
 
+    // Resumed points still appear on the span timeline: a
+    // zero-length "journal" span per served key keeps a resumed
+    // sweep's trace complete without pretending work happened.
+    if (res.tracer) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!fromJournal[i])
+                continue;
+            const std::uint64_t t = res.tracer->nowUs();
+            res.tracer->span("journal",
+                             "journal:" + points[i].key(), t, t);
+        }
+    }
+
     std::vector<std::size_t> pending;
     for (std::size_t i = 0; i < points.size(); ++i) {
         if (!fromJournal[i])
@@ -654,6 +718,13 @@ SweepRunner::runResilient(
             const std::uint64_t warm = p.warmupWindow();
             if (!p.inBandWarmup && warmupArtifactEligible(p, warm))
                 cache->plan(warmupArtifactKey(p, warm), warm);
+        }
+        if (res.tracer) {
+            SpanTracer *tr = res.tracer;
+            cache->setEventHook(
+                [tr](const char *kind, const std::string &key) {
+                    tr->instant("cache", kind, {{"key", key}});
+                });
         }
     }
     cacheStats_ = TraceCacheStats{};
@@ -702,24 +773,47 @@ SweepRunner::runResilient(
                                 std::memory_order_relaxed);
                 started[i].store(nowMs(),
                                  std::memory_order_release);
+                const std::uint64_t span_t0 =
+                    res.tracer ? res.tracer->nowUs() : 0;
                 try {
                     ExperimentPoint p = points[i];
                     p.traceCache = cache ? &*cache : nullptr;
                     p.cfg.pod.cancel = &cancel[i];
+                    p.tracer = res.tracer;
                     PointResult got = runPoint(p);
                     started[i].store(-1,
                                      std::memory_order_relaxed);
                     got.attempts = attempt;
                     got.elapsedSeconds = secondsSince(t0);
                     r = std::move(got);
+                    if (res.tracer)
+                        res.tracer->span(
+                            "point", key, span_t0,
+                            res.tracer->nowUs(),
+                            {{"attempt",
+                              std::to_string(attempt)}});
                     break;
                 } catch (...) {
                     started[i].store(-1,
                                      std::memory_order_relaxed);
                     const AttemptFailure f = classifyFailure();
+                    if (res.tracer)
+                        res.tracer->span(
+                            "point", key, span_t0,
+                            res.tracer->nowUs(),
+                            {{"attempt",
+                              std::to_string(attempt)},
+                             {"error", f.error}});
                     if (f.transient && attempt <= res.retries) {
                         const unsigned delay_ms =
                             res.backoffMs << (attempt - 1);
+                        if (res.tracer)
+                            res.tracer->instant(
+                                "runner", "retry",
+                                {{"point", key},
+                                 {"attempt",
+                                  std::to_string(attempt)},
+                                 {"error", f.error}});
                         std::fprintf(
                             stderr,
                             "sweep point %s: transient failure "
@@ -731,6 +825,11 @@ SweepRunner::runResilient(
                             std::chrono::milliseconds(delay_ms));
                         continue;
                     }
+                    if (res.tracer)
+                        res.tracer->instant(
+                            "runner", "failed",
+                            {{"point", key},
+                             {"error", f.error}});
                     r = PointResult{};
                     r.failed = true;
                     r.error = f.error;
@@ -757,9 +856,17 @@ SweepRunner::runResilient(
                 for (std::size_t i = 0; i < n; ++i) {
                     const std::int64_t s = started[i].load(
                         std::memory_order_acquire);
-                    if (s >= 0 && t - s > deadline_ms)
-                        cancel[i].store(
-                            true, std::memory_order_relaxed);
+                    if (s >= 0 && t - s > deadline_ms) {
+                        // exchange: one instant per raise, not
+                        // one per 20ms poll.
+                        if (!cancel[i].exchange(
+                                true,
+                                std::memory_order_relaxed) &&
+                            res.tracer)
+                            res.tracer->instant(
+                                "runner", "deadline-cancel",
+                                {{"point", points[i].key()}});
+                    }
                 }
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(20));
@@ -798,52 +905,8 @@ SweepRunner::runResilient(
 
 namespace {
 
-void
-appendFmt(std::string &out, const char *fmt, ...)
-{
-    char buf[256];
-    va_list ap;
-    va_start(ap, fmt);
-    std::vsnprintf(buf, sizeof(buf), fmt, ap);
-    va_end(ap);
-    out += buf;
-}
-
-/**
- * JSON string escaping, including control characters: failure
- * records embed exception text, which can carry newlines or tabs
- * from errno strings and assertion messages — emitting those raw
- * would corrupt the whole report.
- */
-void
-appendJsonEscaped(std::string &out, const std::string &s)
-{
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                appendFmt(out, "\\u%04x",
-                          static_cast<unsigned char>(c));
-            else
-                out += c;
-        }
-    }
-}
+// appendFmt / appendJsonEscaped live in common/json.hh now,
+// shared with the telemetry renderers and StatGroup::dumpJson.
 
 void
 appendTiming(std::string &out, const PointTiming &t,

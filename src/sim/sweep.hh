@@ -37,6 +37,8 @@
 
 namespace fpc {
 
+class SpanTracer;
+
 /**
  * Trace/warmup-artifact cache configuration of one sweep run.
  *
@@ -115,6 +117,36 @@ struct SweepOptions
     /** Fault-injection plan (--fault-plan; empty = off). */
     std::string faultPlan;
 
+    /**
+     * Interval-streaming epoch length in trace records
+     * (--interval-records; 0 = off unless --timeseries-out
+     * supplies a default via effectiveIntervalRecords()).
+     */
+    std::uint64_t intervalRecords = 0;
+
+    /**
+     * Hot-path latency/occupancy/MLP histograms (--histograms).
+     * Adds percentile extras to each point in the merged report —
+     * the one telemetry flag that intentionally changes report
+     * bytes.
+     */
+    bool histograms = false;
+
+    /**
+     * Write the per-point interval time series to this file
+     * (--timeseries-out). A standalone artifact: the merged
+     * report never references it.
+     */
+    std::string timeseriesOut;
+
+    /**
+     * Write a Chrome trace-event (Perfetto-loadable) span
+     * timeline of the sweep's execution to this file
+     * (--trace-out). Standalone, wall-clock, nondeterministic by
+     * nature — never part of the merged report.
+     */
+    std::string traceOut;
+
     /** Workloads selected by the filter (default: all six). */
     std::vector<WorkloadKind> workloads() const;
 
@@ -123,6 +155,14 @@ struct SweepOptions
 
     /** The trace-cache configuration these options select. */
     TraceCacheConfig traceCacheConfig() const;
+
+    /**
+     * The interval length interval streaming should use: the
+     * explicit --interval-records value, or, when only
+     * --timeseries-out was given, a default that splits the
+     * measured window into ~32 epochs.
+     */
+    std::uint64_t effectiveIntervalRecords() const;
 };
 
 /**
@@ -154,6 +194,14 @@ struct ResilienceOptions
     /** Serve journaled keys from the journal instead of
      * re-running them (requires journalDir). */
     bool resume = false;
+
+    /**
+     * Execution-span collector (non-owning; null = no tracing).
+     * The runner stamps per-attempt point spans and
+     * retry/failure/deadline/journal instants into it and hands
+     * it to each point for phase-level spans.
+     */
+    SpanTracer *tracer = nullptr;
 
     /** The resilience settings these sweep options select. */
     static ResilienceOptions fromSweepOptions(
@@ -281,6 +329,15 @@ struct PointResult
     std::vector<std::pair<std::string, double>> extra;
 
     /**
+     * Telemetry interval stream of the measured window (empty
+     * unless PodConfig::telemetry.intervalRecords was set).
+     * Emitted only into the --timeseries-out artifact, never the
+     * merged report; journaled so resumed sweeps reproduce the
+     * artifact without re-running.
+     */
+    std::vector<IntervalSample> intervals;
+
+    /**
      * Attempts this point consumed (1 = first try succeeded).
      * Emitted into the JSON only when > 1 or on failure, so a
      * clean run's report stays byte-identical to older output.
@@ -361,6 +418,14 @@ struct ExperimentPoint
      * sweep.
      */
     bool inBandWarmup = false;
+
+    /**
+     * Execution-span collector, set (non-owning) by the
+     * SweepRunner on its working copy alongside traceCache. Run
+     * paths emit trace/warmup/measure phase spans into it; null
+     * means no tracing.
+     */
+    SpanTracer *tracer = nullptr;
 
     /** Globally unique key: "<experiment>/<label>". */
     std::string key() const;

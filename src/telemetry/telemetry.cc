@@ -1,0 +1,55 @@
+/** @file Telemetry probe implementation (see telemetry.hh). */
+
+#include "telemetry/telemetry.hh"
+
+namespace fpc {
+
+TelemetryProbe::TelemetryProbe() : stats_("telemetry")
+{
+    stats_.regLog2Histogram(
+        &access_latency_, "access_latency",
+        "memory-system latency per demand access (cycles)");
+    stats_.regLog2Histogram(
+        &bank_occupancy_, "bank_occupancy",
+        "DRAM banks busy at demand-access issue");
+    stats_.regLog2Histogram(
+        &mlp_window_, "mlp_window",
+        "outstanding-miss window depth after a load miss");
+}
+
+void
+TelemetryProbe::reset()
+{
+    access_latency_.reset();
+    bank_occupancy_.reset();
+    mlp_window_.reset();
+    bank_sample_countdown_ = 1;
+}
+
+namespace {
+
+void
+appendHistExtras(
+    const char *prefix, const Log2Histogram &h,
+    std::vector<std::pair<std::string, double>> &extra)
+{
+    const std::string p(prefix);
+    extra.emplace_back(p + "_p50", h.percentile(50.0));
+    extra.emplace_back(p + "_p95", h.percentile(95.0));
+    extra.emplace_back(p + "_p99", h.percentile(99.0));
+    extra.emplace_back(p + "_mean", h.mean());
+}
+
+} // namespace
+
+void
+appendProbeExtras(
+    const TelemetryProbe &probe,
+    std::vector<std::pair<std::string, double>> &extra)
+{
+    appendHistExtras("lat", probe.accessLatency(), extra);
+    appendHistExtras("bankocc", probe.bankOccupancy(), extra);
+    appendHistExtras("mlp", probe.mlpWindow(), extra);
+}
+
+} // namespace fpc

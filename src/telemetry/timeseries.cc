@@ -1,0 +1,191 @@
+/** @file Columnar time-series renderer (see timeseries.hh). */
+
+#include "telemetry/timeseries.hh"
+
+#include "common/json.hh"
+
+namespace fpc {
+
+namespace {
+
+template <typename Get>
+void
+appendColumn(std::string &out, const char *name,
+             const std::vector<IntervalSample> &intervals,
+             bool first, Get get)
+{
+    if (!first)
+        out += ",\n";
+    appendFmt(out, "        \"%s\": [", name);
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        if (i)
+            out += ", ";
+        appendFmt(out, "%llu",
+                  static_cast<unsigned long long>(
+                      get(intervals[i])));
+    }
+    out += ']';
+}
+
+template <typename Get>
+void
+appendTenantColumn(std::string &out, const char *name,
+                   const std::vector<IntervalSample> &intervals,
+                   std::size_t tenant, bool first, Get get)
+{
+    if (!first)
+        out += ",\n";
+    appendFmt(out, "          \"%s\": [", name);
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        if (i)
+            out += ", ";
+        appendFmt(out, "%llu",
+                  static_cast<unsigned long long>(
+                      get(intervals[i].tenants[tenant])));
+    }
+    out += ']';
+}
+
+} // namespace
+
+std::string
+renderTimeseriesJson(double scale, std::uint64_t seed,
+                     std::uint64_t interval_records,
+                     const std::vector<PointSeries> &points)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"bench\": \"sweep_timeseries\",\n";
+    appendFmt(out, "  \"scale\": %.3f,\n", scale);
+    appendFmt(out, "  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(seed));
+    appendFmt(out, "  \"interval_records\": %llu,\n",
+              static_cast<unsigned long long>(interval_records));
+    out += "  \"points\": [\n";
+
+    bool first_point = true;
+    for (const PointSeries &p : points) {
+        if (p.intervals.empty())
+            continue;
+        if (!first_point)
+            out += ",\n";
+        first_point = false;
+
+        out += "    {\n      \"key\": \"";
+        appendJsonEscaped(out, p.key);
+        out += "\",\n      \"workload\": \"";
+        appendJsonEscaped(out, p.workload);
+        out += "\",\n";
+        appendFmt(out, "      \"intervals\": %llu,\n",
+                  static_cast<unsigned long long>(
+                      p.intervals.size()));
+        out += "      \"columns\": {\n";
+
+        const auto &iv = p.intervals;
+        appendColumn(out, "records", iv, true,
+                     [](const IntervalSample &s) {
+                         return s.records;
+                     });
+        appendColumn(out, "instructions", iv, false,
+                     [](const IntervalSample &s) {
+                         return s.instructions;
+                     });
+        appendColumn(out, "cycles", iv, false,
+                     [](const IntervalSample &s) {
+                         return s.cycles;
+                     });
+        appendColumn(out, "llc_misses", iv, false,
+                     [](const IntervalSample &s) {
+                         return s.llcMisses;
+                     });
+        appendColumn(out, "demand_accesses", iv, false,
+                     [](const IntervalSample &s) {
+                         return s.demandAccesses;
+                     });
+        appendColumn(out, "demand_hits", iv, false,
+                     [](const IntervalSample &s) {
+                         return s.demandHits;
+                     });
+        appendColumn(out, "mem_latency_cycles", iv, false,
+                     [](const IntervalSample &s) {
+                         return s.memLatencyCycles;
+                     });
+        appendColumn(out, "offchip_bytes", iv, false,
+                     [](const IntervalSample &s) {
+                         return s.offchipBytes;
+                     });
+        appendColumn(out, "stacked_bytes", iv, false,
+                     [](const IntervalSample &s) {
+                         return s.stackedBytes;
+                     });
+        appendColumn(out, "offchip_acts", iv, false,
+                     [](const IntervalSample &s) {
+                         return s.offchipActs;
+                     });
+        appendColumn(out, "stacked_acts", iv, false,
+                     [](const IntervalSample &s) {
+                         return s.stackedActs;
+                     });
+        out += "\n      }";
+
+        // Tenant columns: every interval of a point carries the
+        // same tenant count (the pod's), so index 0 is
+        // representative.
+        const std::size_t num_tenants =
+            iv.front().tenants.size();
+        if (num_tenants > 0) {
+            out += ",\n      \"tenants\": [\n";
+            for (std::size_t t = 0; t < num_tenants; ++t) {
+                if (t)
+                    out += ",\n";
+                appendFmt(out,
+                          "        {\"tenant\": %llu, "
+                          "\"columns\": {\n",
+                          static_cast<unsigned long long>(t));
+                appendTenantColumn(
+                    out, "trace_records", iv, t, true,
+                    [](const TenantMetrics &m) {
+                        return m.traceRecords;
+                    });
+                appendTenantColumn(
+                    out, "instructions", iv, t, false,
+                    [](const TenantMetrics &m) {
+                        return m.instructions;
+                    });
+                appendTenantColumn(
+                    out, "llc_misses", iv, t, false,
+                    [](const TenantMetrics &m) {
+                        return m.llcMisses;
+                    });
+                appendTenantColumn(
+                    out, "demand_accesses", iv, t, false,
+                    [](const TenantMetrics &m) {
+                        return m.demandAccesses;
+                    });
+                appendTenantColumn(
+                    out, "demand_hits", iv, t, false,
+                    [](const TenantMetrics &m) {
+                        return m.demandHits;
+                    });
+                appendTenantColumn(
+                    out, "mem_latency_cycles", iv, t, false,
+                    [](const TenantMetrics &m) {
+                        return m.memLatencyCycles;
+                    });
+                appendTenantColumn(
+                    out, "offchip_bytes", iv, t, false,
+                    [](const TenantMetrics &m) {
+                        return m.offchipBytes;
+                    });
+                out += "\n        }}";
+            }
+            out += "\n      ]";
+        }
+        out += "\n    }";
+    }
+
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+} // namespace fpc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Columnar time-series artifact for `sweep --timeseries-out`.
+ *
+ * The renderer is simulation-free: it takes the per-point
+ * IntervalSample lists the runner harvested and emits one JSON
+ * document, columnar per point (one array per metric, index =
+ * epoch) so scripts/render_timeseries.py can slice metrics
+ * without reassembling rows. The artifact is standalone — the
+ * merged sweep report never references it, which is what keeps
+ * the report byte-identical when the flag is off.
+ */
+
+#ifndef FPC_TELEMETRY_TIMESERIES_HH
+#define FPC_TELEMETRY_TIMESERIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+
+namespace fpc {
+
+/** One sweep point's interval stream, keyed like the report. */
+struct PointSeries
+{
+    std::string key;
+    std::string workload;
+    std::vector<IntervalSample> intervals;
+};
+
+/**
+ * Render the full time-series document. Points with no intervals
+ * (custom experiments that bypass the pod, failed points) are
+ * skipped. Output is deterministic: points arrive in report
+ * order and every column is integer-valued.
+ */
+std::string renderTimeseriesJson(
+    double scale, std::uint64_t seed,
+    std::uint64_t interval_records,
+    const std::vector<PointSeries> &points);
+
+} // namespace fpc
+
+#endif // FPC_TELEMETRY_TIMESERIES_HH

@@ -1,0 +1,153 @@
+/** @file Chrome trace-event exporter (see trace_events.hh). */
+
+#include "telemetry/trace_events.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+
+namespace fpc {
+
+namespace {
+
+std::string
+renderArgs(
+    const std::vector<std::pair<std::string, std::string>> &args)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : args) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        appendJsonEscaped(out, key);
+        out += "\": \"";
+        appendJsonEscaped(out, value);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace
+
+SpanTracer::SpanTracer() : epoch_(Clock::now()) {}
+
+std::uint64_t
+SpanTracer::nowUs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - epoch_)
+            .count());
+}
+
+unsigned
+SpanTracer::laneLocked(std::thread::id id)
+{
+    auto it = lanes_.find(id);
+    if (it != lanes_.end())
+        return it->second;
+    const unsigned lane = static_cast<unsigned>(lanes_.size());
+    lanes_.emplace(id, lane);
+    return lane;
+}
+
+void
+SpanTracer::pushEvent(
+    char phase, std::uint64_t ts, std::uint64_t dur,
+    const std::string &category, const std::string &name,
+    const std::vector<std::pair<std::string, std::string>> &args)
+{
+    std::string args_json = renderArgs(args);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const unsigned lane = laneLocked(std::this_thread::get_id());
+    events_.push_back({phase, ts, dur, lane, category, name,
+                       std::move(args_json)});
+}
+
+void
+SpanTracer::span(
+    const std::string &category, const std::string &name,
+    std::uint64_t begin_us, std::uint64_t end_us,
+    const std::vector<std::pair<std::string, std::string>> &args)
+{
+    const std::uint64_t dur =
+        end_us > begin_us ? end_us - begin_us : 0;
+    pushEvent('X', begin_us, dur, category, name, args);
+}
+
+void
+SpanTracer::instant(
+    const std::string &category, const std::string &name,
+    const std::vector<std::pair<std::string, std::string>> &args)
+{
+    pushEvent('i', nowUs(), 0, category, name, args);
+}
+
+std::size_t
+SpanTracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::string
+SpanTracer::render() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    std::string out = "{\"traceEvents\": [\n";
+    bool first = true;
+
+    // Metadata: process name plus one named lane per worker, so
+    // Perfetto labels the rows instead of showing bare tids.
+    out += "  {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+           "\"name\": \"process_name\", "
+           "\"args\": {\"name\": \"fpc sweep\"}}";
+    first = false;
+
+    // Lane order is insertion order; sort by lane id for stable
+    // output regardless of unordered_map iteration order.
+    std::vector<unsigned> lane_ids;
+    for (const auto &[tid, lane] : lanes_)
+        lane_ids.push_back(lane);
+    std::sort(lane_ids.begin(), lane_ids.end());
+    for (const unsigned lane : lane_ids) {
+        out += ",\n";
+        appendFmt(out,
+                  "  {\"ph\": \"M\", \"pid\": 1, \"tid\": %u, "
+                  "\"name\": \"thread_name\", "
+                  "\"args\": {\"name\": \"worker-%u\"}}",
+                  lane, lane);
+    }
+
+    for (const Event &e : events_) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        appendFmt(out,
+                  "  {\"ph\": \"%c\", \"pid\": 1, \"tid\": %u, "
+                  "\"ts\": %llu, ",
+                  e.phase, e.lane,
+                  static_cast<unsigned long long>(e.ts));
+        if (e.phase == 'X')
+            appendFmt(out, "\"dur\": %llu, ",
+                      static_cast<unsigned long long>(e.dur));
+        else
+            out += "\"s\": \"t\", ";
+        out += "\"cat\": \"";
+        appendJsonEscaped(out, e.category);
+        out += "\", \"name\": \"";
+        appendJsonEscaped(out, e.name);
+        out += "\", \"args\": ";
+        out += e.argsJson;
+        out += '}';
+    }
+
+    out += "\n]}\n";
+    return out;
+}
+
+} // namespace fpc

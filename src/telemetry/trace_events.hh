@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Chrome trace-event exporter for the sweep runner.
+ *
+ * SpanTracer collects complete spans ("ph":"X") and instant
+ * events ("ph":"i") from concurrently executing sweep workers and
+ * renders the JSON object format understood by chrome://tracing
+ * and Perfetto (ui.perfetto.dev): one process, one timeline lane
+ * per worker thread, microsecond timestamps relative to tracer
+ * construction.
+ *
+ * Unlike the measurement reports, span timestamps are wall-clock
+ * and therefore inherently nondeterministic — the tracer is an
+ * additive side artifact (`sweep --trace-out`) and never feeds
+ * back into any report. Points served from a resume journal emit
+ * zero-length "journal" spans so a resumed sweep still shows
+ * every point on the timeline.
+ */
+
+#ifndef FPC_TELEMETRY_TRACE_EVENTS_HH
+#define FPC_TELEMETRY_TRACE_EVENTS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace fpc {
+
+/** Thread-safe collector for Chrome trace-event JSON. */
+class SpanTracer
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    SpanTracer();
+
+    SpanTracer(const SpanTracer &) = delete;
+    SpanTracer &operator=(const SpanTracer &) = delete;
+
+    /** Microseconds since tracer construction ("ts" field). */
+    std::uint64_t nowUs() const;
+
+    /**
+     * Record a complete span on the calling thread's lane.
+     * @p args is a list of key/value pairs rendered into the
+     * span's "args" object (values escaped).
+     */
+    void span(const std::string &category,
+              const std::string &name, std::uint64_t begin_us,
+              std::uint64_t end_us,
+              const std::vector<std::pair<std::string,
+                                          std::string>> &args = {});
+
+    /** Record a thread-scoped instant event on this lane. */
+    void instant(
+        const std::string &category, const std::string &name,
+        const std::vector<std::pair<std::string, std::string>>
+            &args = {});
+
+    /** Number of events recorded so far (spans + instants). */
+    std::size_t eventCount() const;
+
+    /**
+     * Render the full {"traceEvents": [...]} document, including
+     * process/thread metadata records. Safe to call while other
+     * threads still emit, though a sweep renders after joining.
+     */
+    std::string render() const;
+
+  private:
+    struct Event
+    {
+        char phase;                // 'X' or 'i'
+        std::uint64_t ts;          // µs since epoch_
+        std::uint64_t dur;         // µs, spans only
+        unsigned lane;             // tid in the output
+        std::string category;
+        std::string name;
+        std::string argsJson;      // pre-rendered {"k": "v", ...}
+    };
+
+    unsigned laneLocked(std::thread::id id);
+    void pushEvent(char phase, std::uint64_t ts,
+                   std::uint64_t dur, const std::string &category,
+                   const std::string &name,
+                   const std::vector<std::pair<std::string,
+                                               std::string>> &args);
+
+    Clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::thread::id, unsigned> lanes_;
+    std::vector<Event> events_;
+};
+
+} // namespace fpc
+
+#endif // FPC_TELEMETRY_TRACE_EVENTS_HH

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "mem/materialized_trace.hh"
+#include "telemetry/trace_events.hh"
 #include "tenant/mix_source.hh"
 #include "workload/generator.hh"
 
@@ -138,12 +139,14 @@ runColocationPoint(const ExperimentPoint &point)
         decodeTenantMix(point);
     const std::uint64_t warm = point.warmupWindow();
     const std::uint64_t measure = measureRecords(point.scale);
+    SpanTracer *tracer = point.tracer;
 
     // Upper bound on any one tenant's consumption: a tenant
     // whose cores never stall could in principle drain almost
     // the whole window alone, so each stream must hold it all.
     const std::uint64_t per_tenant = warm + measure;
 
+    std::uint64_t span_t0 = tracer ? tracer->nowUs() : 0;
     auto t0 = std::chrono::steady_clock::now();
     std::vector<std::unique_ptr<TraceSource>> sources;
     std::vector<unsigned> cores;
@@ -182,6 +185,9 @@ runColocationPoint(const ExperimentPoint &point)
     out.timing.generatedTrace = generated;
     TenantMixSource mix(std::move(sources), cores);
     out.timing.traceSeconds = secondsSince(t0);
+    if (tracer)
+        tracer->span("phase", "trace:" + point.key(), span_t0,
+                     tracer->nowUs());
 
     Experiment::Config cfg = point.cfg;
     cfg.pod.numTenants = static_cast<unsigned>(tenants.size());
@@ -189,14 +195,29 @@ runColocationPoint(const ExperimentPoint &point)
 
     // In-band warmup: the mixed post-L2 stream is not design-
     // independent, so no shared warmup artifact applies.
+    span_t0 = tracer ? tracer->nowUs() : 0;
     t0 = std::chrono::steady_clock::now();
     if (warm > 0)
         exp.run(warm, 0);
     out.timing.warmupSeconds = secondsSince(t0);
+    if (tracer)
+        tracer->span("phase", "warmup:" + point.key(), span_t0,
+                     tracer->nowUs());
 
+    span_t0 = tracer ? tracer->nowUs() : 0;
     t0 = std::chrono::steady_clock::now();
     out.metrics = exp.run(0, measure);
     out.timing.measureSeconds = secondsSince(t0);
+    if (tracer)
+        tracer->span("phase", "measure:" + point.key(), span_t0,
+                     tracer->nowUs());
+
+    // Telemetry harvest, mirroring runPoint: intervals carry the
+    // per-tenant deltas of every epoch, and the probe summary
+    // lands in the extras.
+    out.intervals = exp.pod().intervals();
+    if (const TelemetryProbe *probe = exp.pod().probe())
+        appendProbeExtras(*probe, out.extra);
 
     FPC_ASSERT(out.metrics.tenants.size() == tenants.size());
     return out;

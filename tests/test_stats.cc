@@ -83,9 +83,91 @@ TEST(StatGroup, FindAndDump)
     std::ostringstream os;
     g.dump(os);
     const std::string out = os.str();
-    EXPECT_NE(out.find("grp.events 42"), std::string::npos);
-    EXPECT_NE(out.find("grp.energy"), std::string::npos);
-    EXPECT_NE(out.find("number of events"), std::string::npos);
+    EXPECT_NE(out.find("\"group\": \"grp\""), std::string::npos);
+    EXPECT_NE(out.find("\"events\": 42"), std::string::npos);
+    EXPECT_NE(out.find("\"energy\""), std::string::npos);
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(StatGroup, DumpJsonEscapesNames)
+{
+    StatGroup g("we\"ird\n");
+    Counter c;
+    g.regCounter(&c, "qu\"ote", "line\nbreak");
+    std::string out;
+    g.dumpJson(out);
+    // The raw quote and newline must not survive unescaped.
+    EXPECT_NE(out.find("we\\\"ird\\n"), std::string::npos);
+    EXPECT_NE(out.find("qu\\\"ote"), std::string::npos);
+    EXPECT_EQ(out.find("line\nbreak"), std::string::npos);
+}
+
+TEST(StatGroup, VisitInRegistrationOrder)
+{
+    StatGroup g("grp");
+    Counter c1, c2;
+    Accum a;
+    Histogram h(4, 4);
+    Log2Histogram lh;
+    g.regCounter(&c1, "first", "");
+    g.regCounter(&c2, "second", "");
+    g.regAccum(&a, "acc", "");
+    g.regHistogram(&h, "hist", "");
+    g.regLog2Histogram(&lh, "log2", "");
+    c1.inc(1);
+    c2.inc(2);
+    a.add(0.5);
+    h.sample(3);
+    lh.sample(9);
+
+    struct Collect : StatVisitor
+    {
+        std::vector<std::string> names;
+        std::uint64_t counterSum = 0;
+        double accumSum = 0.0;
+        std::uint64_t histTotal = 0;
+
+        void
+        counter(const std::string &name, const std::string &,
+                std::uint64_t value) override
+        {
+            names.push_back(name);
+            counterSum += value;
+        }
+
+        void
+        accum(const std::string &name, const std::string &,
+              double value) override
+        {
+            names.push_back(name);
+            accumSum += value;
+        }
+
+        void
+        histogram(const std::string &name, const std::string &,
+                  const Histogram &hh) override
+        {
+            names.push_back(name);
+            histTotal += hh.totalSamples();
+        }
+
+        void
+        log2Histogram(const std::string &name,
+                      const std::string &,
+                      const Log2Histogram &hh) override
+        {
+            names.push_back(name);
+            histTotal += hh.totalSamples();
+        }
+    } v;
+    g.visit(v);
+    const std::vector<std::string> expect = {
+        "first", "second", "acc", "hist", "log2"};
+    EXPECT_EQ(v.names, expect);
+    EXPECT_EQ(v.counterSum, 3u);
+    EXPECT_DOUBLE_EQ(v.accumSum, 0.5);
+    EXPECT_EQ(v.histTotal, 2u);
 }
 
 TEST(StatGroup, ResetAll)
