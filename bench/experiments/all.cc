@@ -23,6 +23,7 @@ registerAllExperiments(ExperimentRegistry &reg)
     registerAblationPredictor(reg);
     registerFrontier(reg);
     registerColocation(reg);
+    registerSamplingValidation(reg);
 }
 
 } // namespace fpcbench

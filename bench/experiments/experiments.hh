@@ -34,6 +34,7 @@ void registerAblationCapacity(ExperimentRegistry &reg);
 void registerAblationPredictor(ExperimentRegistry &reg);
 void registerFrontier(ExperimentRegistry &reg);
 void registerColocation(ExperimentRegistry &reg);
+void registerSamplingValidation(ExperimentRegistry &reg);
 
 /** Register every paper experiment, in presentation order. */
 void registerAllExperiments(ExperimentRegistry &reg);

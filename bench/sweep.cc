@@ -195,9 +195,16 @@ main(int argc, char **argv)
     // Expand every selected experiment, then shard the
     // concatenation as one batch. Telemetry options apply
     // uniformly to every point: interval streaming and histograms
-    // ride in each point's PodConfig.
+    // ride in each point's PodConfig. Sampling likewise, except
+    // for points that pin their own sampling config (the paired
+    // exact/sampled validation twins), points whose warmup
+    // scheme runSampled cannot alternate with (timed warmup has
+    // no functional fast-forward phase to interleave), and
+    // multi-tenant points (the span artifact carries no
+    // per-tenant attribution).
     const std::uint64_t interval_records =
         opts.effectiveIntervalRecords();
+    const fpc::SamplingConfig sampling = opts.samplingConfig();
     std::vector<ExperimentRun> runs;
     std::vector<ExperimentPoint> batch;
     for (const ExperimentDef &def : reg.all()) {
@@ -211,6 +218,13 @@ main(int argc, char **argv)
             p.cfg.pod.telemetry.intervalRecords =
                 interval_records;
             p.cfg.pod.telemetry.histograms = opts.histograms;
+            if (sampling.enabled && !p.pinSampling &&
+                !p.cfg.pod.allTimedWarmup &&
+                p.cfg.pod.numTenants == 0 &&
+                p.cfg.pod.warmupMode ==
+                    fpc::SimMode::Functional) {
+                p.cfg.pod.sampling = sampling;
+            }
             batch.push_back(p);
         }
         runs.push_back(std::move(run));

@@ -131,3 +131,16 @@ python3 scripts/check_telemetry.py \
     --timeseries "$BUILD_DIR"/BENCH_fig12_ts.json \
     --report "$BUILD_DIR"/BENCH_fig12_telemetry.json \
     --trace "$BUILD_DIR"/BENCH_fig12_trace.json
+# Sampling slice: the paired exact-vs-sampled validation grid.
+# check_sampling.py enforces >= 90% CI coverage of the exact
+# values, the >= 5x marginal speedup floor (timed + fast-forward
+# phases; the one-off span-artifact build amortizes like the
+# trace cache), and the sampled extras schema. CI's
+# sampling-smoke job runs the same grid.
+"$BUILD_DIR"/sweep --quick --jobs "$JOBS" \
+    --filter sampling_validation --no-report \
+    --out "$BUILD_DIR"/BENCH_sampling_quick.json \
+    --time-out "$BUILD_DIR"/BENCH_sampling_timing.json
+python3 scripts/check_sampling.py \
+    --report "$BUILD_DIR"/BENCH_sampling_quick.json \
+    --timing "$BUILD_DIR"/BENCH_sampling_timing.json

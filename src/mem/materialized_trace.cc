@@ -149,6 +149,17 @@ ReplayTraceSource::reset()
 }
 
 void
+ReplayTraceSource::fastForward(std::uint64_t n)
+{
+    // The arena is random access, so skipping is a cursor move —
+    // the O(1) jump sampled mode's per-interval fast-forward
+    // relies on (clamped at the arena end like the drain loop the
+    // base class runs).
+    seekTo(std::min<std::uint64_t>(consumed() + n,
+                                   trace_->size()));
+}
+
+void
 ReplayTraceSource::seekTo(std::uint64_t index)
 {
     FPC_ASSERT(index <= trace_->size());

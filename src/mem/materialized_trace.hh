@@ -118,6 +118,7 @@ class ReplayTraceSource : public TraceSource
                         TraceRecord *&span) override;
     void skip(std::size_t n) override;
     void reset() override;
+    void fastForward(std::uint64_t n) override;
 
     /**
      * Position the stream at absolute record @p index (O(1)):

@@ -1,10 +1,32 @@
 #include "mem/trace.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
 
 namespace fpc {
+
+void
+TraceSource::fastForward(std::uint64_t n)
+{
+    FPC_ASSERT(coreAgnostic());
+    while (n > 0) {
+        TraceRecord *span = nullptr;
+        const std::size_t avail = acquire(0, span);
+        if (avail > 0) {
+            const std::size_t take = static_cast<std::size_t>(
+                std::min<std::uint64_t>(avail, n));
+            skip(take);
+            n -= take;
+            continue;
+        }
+        TraceRecord rec;
+        if (!next(0, rec))
+            break;
+        --n;
+    }
+}
 
 VectorTraceSource::VectorTraceSource(std::vector<TraceRecord> records,
                                      unsigned num_cores)

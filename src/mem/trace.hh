@@ -65,6 +65,17 @@ class TraceSource
 
     /** Restart the stream from the beginning (if supported). */
     virtual void reset() {}
+
+    /**
+     * Discard the next @p n records of the shared stream without
+     * handing them to any core. The default drains through
+     * acquire()/skip() (falling back to next()), so any source
+     * stays stream-position-compatible with the seekable replay
+     * sources that override this with an O(1) jump. Only valid on
+     * core-agnostic sources: skipping a core-routed stream would
+     * silently unbalance the per-core queues.
+     */
+    virtual void fastForward(std::uint64_t n);
 };
 
 /** Fixed sequence of records, round-robined to every core. */

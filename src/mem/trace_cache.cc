@@ -14,12 +14,13 @@ TraceCache::TraceCache(std::uint64_t budget_bytes)
 }
 
 void
-TraceCache::plan(const std::string &key, std::uint64_t units)
+TraceCache::plan(const std::string &key, std::uint64_t units,
+                 std::uint64_t acquires)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     Planned &planned = planned_[key];
     planned.units = std::max(planned.units, units);
-    ++planned.uses;
+    planned.uses += acquires;
 }
 
 TraceCache::EntryPtr

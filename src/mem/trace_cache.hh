@@ -111,16 +111,21 @@ class TraceCache
     void setEventHook(EventHook hook) { hook_ = std::move(hook); }
 
     /**
-     * Record one future acquire() of @p key needing at least
-     * @p units (for trace arenas: records). Builders receive the
-     * maximum planned over all callers, so one build covers every
-     * point sharing the identity even when their windows differ —
-     * and the cache counts the planned uses, releasing the entry
-     * as soon as the last one has been served (consumers still
-     * hold it via shared_ptr). Resident memory therefore tracks
-     * the identities currently in flight, not the whole sweep.
+     * Record @p acquires future acquire() calls of @p key needing
+     * at least @p units (for trace arenas: records). Builders
+     * receive the maximum planned over all callers, so one build
+     * covers every point sharing the identity even when their
+     * windows differ — and the cache counts the planned uses,
+     * releasing the entry as soon as the last one has been served
+     * (consumers still hold it via shared_ptr). Resident memory
+     * therefore tracks the identities currently in flight, not
+     * the whole sweep. A point that acquires the same identity
+     * more than once (e.g. its main trace doubles as an extra
+     * need) must plan every acquire, or the entry is released
+     * early and rebuilt — pass the per-point acquire count here.
      */
-    void plan(const std::string &key, std::uint64_t units);
+    void plan(const std::string &key, std::uint64_t units,
+              std::uint64_t acquires = 1);
 
     /**
      * Return the entry for @p key, building it (at most once per

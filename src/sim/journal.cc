@@ -20,9 +20,10 @@ namespace fpc {
 
 namespace {
 
-// v2 added the telemetry intervals section. v1 entries fail the
-// magic check and the point simply re-runs — safe by design.
-constexpr const char *kMagic = "fpcjournal 2";
+// v2 added the telemetry intervals section; v3 the sampled-mode
+// timing fields. Older entries fail the magic check and the point
+// simply re-runs — safe by design.
+constexpr const char *kMagic = "fpcjournal 3";
 constexpr const char *kSuffix = ".pt";
 
 /** FNV-1a (matches the sweep key hash). */
@@ -252,11 +253,15 @@ SweepJournal::serialize(const ExperimentPoint &point,
     appendDouble(out, r.timing.warmupSeconds);
     out += " ";
     appendDouble(out, r.timing.measureSeconds);
-    appendFmt(out, " %u %u %u %u",
+    appendFmt(out, " %u %u %u %u %u ",
               r.timing.replayedTrace ? 1u : 0u,
               r.timing.generatedTrace ? 1u : 0u,
               r.timing.replayedWarmup ? 1u : 0u,
-              r.timing.builtWarmup ? 1u : 0u);
+              r.timing.builtWarmup ? 1u : 0u,
+              r.timing.sampled ? 1u : 0u);
+    appendDouble(out, r.timing.sampleFfSeconds);
+    out += " ";
+    appendDouble(out, r.timing.sampleTimedSeconds);
     appendFmt(out, "\nintervals %zu", r.intervals.size());
     for (const IntervalSample &iv : r.intervals) {
         appendFmt(out,
@@ -380,19 +385,22 @@ SweepJournal::parse(const std::string &text, std::string &key,
             return false;
     }
 
-    std::uint64_t flags[4];
+    std::uint64_t flags[5];
     in.skipSpace();
     if (!in.literal("timing ") ||
         !in.f64(r.timing.traceSeconds) ||
         !in.f64(r.timing.warmupSeconds) ||
         !in.f64(r.timing.measureSeconds) || !in.u64(flags[0]) ||
         !in.u64(flags[1]) || !in.u64(flags[2]) ||
-        !in.u64(flags[3]))
+        !in.u64(flags[3]) || !in.u64(flags[4]) ||
+        !in.f64(r.timing.sampleFfSeconds) ||
+        !in.f64(r.timing.sampleTimedSeconds))
         return false;
     r.timing.replayedTrace = flags[0] != 0;
     r.timing.generatedTrace = flags[1] != 0;
     r.timing.replayedWarmup = flags[2] != 0;
     r.timing.builtWarmup = flags[3] != 0;
+    r.timing.sampled = flags[4] != 0;
 
     in.skipSpace();
     if (!in.literal("intervals") || !in.u64(count) ||

@@ -1,6 +1,8 @@
 #include "sim/pod_system.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
 
 #include "common/fault.hh"
 #include "common/logging.hh"
@@ -302,6 +304,101 @@ PodSystem::buildWarmupArtifact(const MaterializedTrace &trace,
     return art;
 }
 
+std::shared_ptr<const SampleSpanArtifact>
+PodSystem::buildSampleSpanArtifact(
+    const MaterializedTrace &trace,
+    const CacheHierarchy::Config &hier_cfg,
+    const WarmupArtifact &warm_art, std::uint64_t warm_records,
+    const SampleSchedule &sched)
+{
+    FPC_ASSERT(warm_art.records == warm_records);
+    FPC_ASSERT(trace.size() >=
+               warm_records + sched.spanRecords());
+    auto art = std::make_shared<SampleSpanArtifact>();
+    art->schedule = sched;
+    CacheHierarchy hierarchy(hier_cfg);
+    hierarchy.restoreState(warm_art.hierarchy);
+    const unsigned cores = hier_cfg.numCores;
+
+    // Continues buildWarmupArtifact's pass as if the two were one:
+    // `pulled` keeps counting from record 0 so the round-robin
+    // burst rotation carries across the seam, and the chunk cursor
+    // starts mid-arena (every chunk but the last holds exactly
+    // kChunkRecords, so the split is pure arithmetic).
+    std::uint64_t pulled = warm_records;
+    unsigned core = static_cast<unsigned>(
+        (pulled / kDispatchBurst) % cores);
+    std::size_t ci = static_cast<std::size_t>(
+        warm_records / MaterializedTrace::kChunkRecords);
+    std::size_t off = static_cast<std::size_t>(
+        warm_records % MaterializedTrace::kChunkRecords);
+    std::uint64_t instructions = 0;
+    MemRequest req;
+    const auto pass = [&](std::uint64_t count) {
+        const std::uint64_t stop = pulled + count;
+        while (pulled < stop) {
+            const MaterializedTrace::ChunkView c =
+                trace.chunk(ci);
+            const std::uint64_t burst_left =
+                kDispatchBurst - (pulled & (kDispatchBurst - 1));
+            const std::size_t take = static_cast<std::size_t>(
+                std::min<std::uint64_t>(
+                    {static_cast<std::uint64_t>(c.records - off),
+                     burst_left, stop - pulled}));
+            for (std::size_t i = 0; i < take; ++i) {
+                req.paddr = c.paddr[off + i];
+                req.pc = c.pc[off + i];
+                req.op = static_cast<MemOp>(c.op[off + i]);
+                req.coreId = static_cast<std::uint16_t>(core);
+                instructions += c.gap[off + i] + 1;
+
+                HierarchyOutcome out = hierarchy.access(req);
+                if (!out.l1Hit && !out.l2Hit) {
+                    art->paddr.push_back(req.paddr);
+                    art->pc.push_back(req.pc);
+                    art->coreId.push_back(req.coreId);
+                    art->kind.push_back(
+                        req.op == MemOp::Write
+                            ? WarmupArtifact::kWrite
+                            : WarmupArtifact::kRead);
+                }
+                for (unsigned w = 0; w < out.numWritebacks;
+                     ++w) {
+                    art->paddr.push_back(out.writebackAddr[w]);
+                    art->pc.push_back(0);
+                    art->coreId.push_back(req.coreId);
+                    art->kind.push_back(
+                        WarmupArtifact::kWriteback);
+                }
+            }
+            pulled += take;
+            off += take;
+            if (off == c.records) {
+                off = 0;
+                ++ci;
+            }
+            if ((pulled & (kDispatchBurst - 1)) == 0)
+                core = (core + 1 == cores) ? 0 : core + 1;
+        }
+    };
+
+    for (unsigned p = 0; p < sched.intervals; ++p) {
+        const std::uint64_t instr_before = instructions;
+        pass(sched.gap);
+        art->opGapEnd.push_back(art->paddr.size());
+        art->gapInstructions.push_back(instructions -
+                                       instr_before);
+        art->hierarchyAtTimedStart.emplace_back();
+        hierarchy.saveState(art->hierarchyAtTimedStart.back());
+        pass(sched.ramp + sched.measure);
+        art->opPeriodEnd.push_back(art->paddr.size());
+    }
+    art->hierarchyBytes =
+        static_cast<std::uint64_t>(sched.intervals) *
+        hierarchy.stateBytes();
+    return art;
+}
+
 void
 PodSystem::applyWarmup(const WarmupArtifact &artifact)
 {
@@ -377,11 +474,19 @@ PodSystem::recordInterval(Snapshot &prev, Cycle now)
         tm.offchipBytes = e.offchipBytes - p.offchipBytes;
     }
     intervals_.push_back(std::move(s));
+    if (record_epoch_energy_) {
+        epoch_energy_.push_back(
+            {cur.offchipActPreNj - prev.offchipActPreNj,
+             cur.offchipBurstNj - prev.offchipBurstNj,
+             cur.stackedActPreNj - prev.stackedActPreNj,
+             cur.stackedBurstNj - prev.stackedBurstNj});
+    }
     prev = cur;
 }
 
 Cycle
-PodSystem::runMeasure(std::uint64_t measure_refs, bool measured)
+PodSystem::runMeasure(std::uint64_t measure_refs, bool measured,
+                      Cycle start_now, MeasureCarry *carry)
 {
     const std::uint64_t stop = total_records_ + measure_refs;
 
@@ -399,7 +504,7 @@ PodSystem::runMeasure(std::uint64_t measure_refs, bool measured)
         interval ? total_records_ + interval : 0;
     Snapshot prev;
     if (interval)
-        prev = capture(0);
+        prev = capture(start_now);
 
     // Hot-path distribution probe: one predictable null test per
     // site when telemetry is off.
@@ -407,8 +512,13 @@ PodSystem::runMeasure(std::uint64_t measure_refs, bool measured)
     DramSystem *occupancy_dram = stacked_ ? stacked_ : &offchip_;
 
     EventQueue<unsigned> ready;
-    for (unsigned c = 0; c < config_.numCores; ++c)
-        ready.schedule(0, c);
+    if (carry && carry->primed) {
+        for (unsigned c = 0; c < config_.numCores; ++c)
+            ready.schedule(carry->readyAt[c], c);
+    } else {
+        for (unsigned c = 0; c < config_.numCores; ++c)
+            ready.schedule(start_now, c);
+    }
 
     // Outstanding load-miss completion times per core, bounded by
     // mlpPerCore: a fixed-size window (at most mlp + 1 entries
@@ -419,6 +529,10 @@ PodSystem::runMeasure(std::uint64_t measure_refs, bool measured)
     std::vector<Cycle> window(
         static_cast<std::size_t>(config_.numCores) * cap);
     std::vector<unsigned> depth(config_.numCores, 0);
+    if (carry && carry->primed) {
+        window = carry->window;
+        depth = carry->depth;
+    }
 
     // Batch consumption for core-agnostic sources: the event
     // queue decides record-to-core dispatch one record at a time,
@@ -434,7 +548,7 @@ PodSystem::runMeasure(std::uint64_t measure_refs, bool measured)
     std::size_t span_len = 0;
     std::size_t span_pos = 0;
 
-    Cycle now = 0;
+    Cycle now = start_now;
     while (!ready.empty() && total_records_ < stop) {
         // Cooperative cancellation at batch boundaries: one
         // predicted-null pointer test every 4096 records keeps
@@ -567,6 +681,19 @@ PodSystem::runMeasure(std::uint64_t measure_refs, bool measured)
     if (span_pos > 0)
         trace_.skip(span_pos);
 
+    if (carry) {
+        // A core that hit trace exhaustion was dropped from the
+        // queue; re-arm it at the final cycle.
+        carry->readyAt.assign(config_.numCores, now);
+        while (!ready.empty()) {
+            const auto [when, core] = ready.pop();
+            carry->readyAt[core] = when;
+        }
+        carry->window = std::move(window);
+        carry->depth = std::move(depth);
+        carry->primed = true;
+    }
+
     // Close the final (possibly partial) epoch so the intervals
     // always sum to the aggregate. `now` can advance past the
     // last boundary even with zero records (exhausted-trace event
@@ -631,6 +758,201 @@ PodSystem::run(std::uint64_t warmup_refs,
         tm.offchipBytes = e.offchipBytes - s.offchipBytes;
     }
     return m;
+}
+
+SampledRun
+PodSystem::runSampled(std::uint64_t span_refs,
+                      const SampleSpanArtifact &span_art)
+{
+    const SamplingConfig &sc = config_.sampling;
+    FPC_ASSERT(sc.enabled);
+    // Sampling rides the functional fast path; the legacy
+    // all-timed engine has nothing cheap to fast-forward with,
+    // and the span artifact carries no per-tenant attribution.
+    FPC_ASSERT(!config_.allTimedWarmup &&
+               config_.warmupMode == SimMode::Functional);
+    FPC_ASSERT(tenant_totals_.empty());
+
+    // The schedule is pure record arithmetic — it can't depend on
+    // timing or thread count — and must be the one the artifact
+    // was cut for.
+    const SampleSchedule sched =
+        computeSampleSchedule(sc, span_refs);
+    FPC_ASSERT(sched.intervals == span_art.schedule.intervals &&
+               sched.period == span_art.schedule.period &&
+               sched.gap == span_art.schedule.gap &&
+               sched.ramp == span_art.schedule.ramp &&
+               sched.measure == span_art.schedule.measure);
+    const std::size_t ramp_epochs = sched.rampEpochs;
+
+    const auto seconds =
+        [](std::chrono::steady_clock::time_point t0) {
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                .count();
+        };
+
+    SampledRun out;
+    std::vector<double> interval_ipc;
+    std::uint64_t op_start = 0;
+    Cycle clock = 0;
+    MeasureCarry carry;
+    MemRequest req;
+    for (unsigned i = 0; i < sched.intervals; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+
+        // Gap: replay the artifact's post-L2 ops into this
+        // design's memory system (same functional-mode pattern as
+        // applyWarmup), fast-forward the trace cursor past the
+        // records they came from, and land on the artifact's
+        // hierarchy snapshot at the timed start.
+        const std::uint64_t op_end = span_art.opGapEnd[i];
+        memory_.setMode(SimMode::Functional);
+        for (std::uint64_t o = op_start; o < op_end; ++o) {
+            if ((o & 0xfff) == 0)
+                throwIfCancelled(config_.cancel);
+            if (o + 8 < op_end)
+                memory_.prefetchFor(span_art.paddr[o + 8]);
+            if (o + 5 < op_end)
+                memory_.prefetchFor2(span_art.paddr[o + 5]);
+            const std::uint8_t kind = span_art.kind[o];
+            if (kind == WarmupArtifact::kWriteback) {
+                memory_.writeback(0, span_art.paddr[o]);
+            } else {
+                req.paddr = span_art.paddr[o];
+                req.pc = span_art.pc[o];
+                req.op = kind == WarmupArtifact::kWrite
+                             ? MemOp::Write
+                             : MemOp::Read;
+                req.coreId = span_art.coreId[o];
+                memory_.access(0, req);
+            }
+        }
+        if (sched.gap > 0)
+            trace_.fastForward(sched.gap);
+        total_records_ += sched.gap;
+        total_instructions_ += span_art.gapInstructions[i];
+        hierarchy_.restoreState(
+            span_art.hierarchyAtTimedStart[i]);
+        out.replayedOps += op_end - op_start;
+        out.skippedRecords += sched.gap;
+        op_start = span_art.opPeriodEnd[i];
+
+        // Back to timed mode — but unlike the warmup boundary,
+        // no channel drain: a gap takes zero simulated time, so
+        // each period's timed stretch continues from the previous
+        // one's end cycle with the DRAM queue backlog and bank
+        // busy windows intact. Resetting here instead would make
+        // every interval start from an unloaded memory system and
+        // systematically underestimate queueing latency (the span
+        // as a whole still starts from the clean post-warmup
+        // boundary, exactly like an exact run's measure window).
+        memory_.setMode(SimMode::Timed);
+        out.ffSeconds += seconds(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        const std::size_t before = intervals_.size();
+        const std::uint64_t saved_interval =
+            config_.telemetry.intervalRecords;
+        config_.telemetry.intervalRecords = sched.epoch;
+        epoch_energy_.clear();
+        record_epoch_energy_ = true;
+        clock = runMeasure(sched.ramp + sched.measure, true,
+                           clock, &carry);
+        record_epoch_energy_ = false;
+        config_.telemetry.intervalRecords = saved_interval;
+        out.timedSeconds += seconds(t0);
+
+        FPC_ASSERT(intervals_.size() > before + ramp_epochs);
+        IntervalSample merged;
+        for (std::size_t e = before + ramp_epochs;
+             e < intervals_.size(); ++e) {
+            const IntervalSample &s = intervals_[e];
+            merged.records += s.records;
+            merged.instructions += s.instructions;
+            merged.cycles += s.cycles;
+            merged.llcMisses += s.llcMisses;
+            merged.demandAccesses += s.demandAccesses;
+            merged.demandHits += s.demandHits;
+            merged.memLatencyCycles += s.memLatencyCycles;
+            merged.offchipBytes += s.offchipBytes;
+            merged.stackedBytes += s.stackedBytes;
+            merged.offchipActs += s.offchipActs;
+            merged.stackedActs += s.stackedActs;
+            if (merged.tenants.size() < s.tenants.size())
+                merged.tenants.resize(s.tenants.size());
+            for (std::size_t t = 0; t < s.tenants.size(); ++t) {
+                TenantMetrics &d = merged.tenants[t];
+                const TenantMetrics &ts = s.tenants[t];
+                d.traceRecords += ts.traceRecords;
+                d.instructions += ts.instructions;
+                d.llcMisses += ts.llcMisses;
+                d.demandAccesses += ts.demandAccesses;
+                d.demandHits += ts.demandHits;
+                d.memLatencyCycles += ts.memLatencyCycles;
+                d.offchipBytes += ts.offchipBytes;
+            }
+        }
+        for (std::size_t e = ramp_epochs;
+             e < epoch_energy_.size(); ++e) {
+            out.metrics.offchipActPreNj += epoch_energy_[e][0];
+            out.metrics.offchipBurstNj += epoch_energy_[e][1];
+            out.metrics.stackedActPreNj += epoch_energy_[e][2];
+            out.metrics.stackedBurstNj += epoch_energy_[e][3];
+        }
+        epoch_energy_.clear();
+
+        // The interval stream of a sampled window is the merged
+        // per-interval samples, not the raw scratch epochs.
+        intervals_.resize(before);
+        intervals_.push_back(merged);
+
+        RunMetrics &agg = out.metrics;
+        agg.instructions += merged.instructions;
+        agg.cycles += merged.cycles;
+        agg.traceRecords += merged.records;
+        agg.llcMisses += merged.llcMisses;
+        agg.demandAccesses += merged.demandAccesses;
+        agg.demandHits += merged.demandHits;
+        agg.memLatencyCycles += merged.memLatencyCycles;
+        agg.offchipBytes += merged.offchipBytes;
+        agg.stackedBytes += merged.stackedBytes;
+        agg.offchipActs += merged.offchipActs;
+        agg.stackedActs += merged.stackedActs;
+        if (agg.tenants.size() < merged.tenants.size())
+            agg.tenants.resize(merged.tenants.size());
+        for (std::size_t t = 0; t < merged.tenants.size(); ++t) {
+            TenantMetrics &d = agg.tenants[t];
+            const TenantMetrics &ts = merged.tenants[t];
+            d.traceRecords += ts.traceRecords;
+            d.instructions += ts.instructions;
+            d.llcMisses += ts.llcMisses;
+            d.demandAccesses += ts.demandAccesses;
+            d.demandHits += ts.demandHits;
+            d.memLatencyCycles += ts.memLatencyCycles;
+            d.offchipBytes += ts.offchipBytes;
+        }
+
+        interval_ipc.push_back(
+            merged.cycles
+                ? static_cast<double>(merged.instructions) /
+                      merged.cycles
+                : 0.0);
+        out.samples.push_back(std::move(merged));
+        ++out.intervalsRun;
+
+        // Online auto-tune: stop once the per-interval IPC CI is
+        // tight enough. Depends only on simulated values, so the
+        // early stop is as deterministic as the full run.
+        if (sc.targetCi > 0.0 &&
+            out.intervalsRun >= std::max(2u, sc.minIntervals)) {
+            const SampleStats st =
+                computeSampleStats(interval_ipc);
+            if (st.relativeCi() <= sc.targetCi)
+                break;
+        }
+    }
+    return out;
 }
 
 } // namespace fpc

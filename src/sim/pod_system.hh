@@ -30,6 +30,7 @@
 #ifndef FPC_SIM_POD_SYSTEM_HH
 #define FPC_SIM_POD_SYSTEM_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -42,6 +43,7 @@
 #include "mem/materialized_trace.hh"
 #include "mem/trace.hh"
 #include "mem/trace_cache.hh"
+#include "sim/sampling.hh"
 #include "telemetry/telemetry.hh"
 #include "tenant/tenant.hh"
 
@@ -115,6 +117,14 @@ struct PodConfig
      * bit-identical to a telemetry-free engine.
      */
     TelemetryConfig telemetry;
+
+    /**
+     * Sampled-execution knobs (runSampled). Default-constructed
+     * = disabled; run() and the exact report are untouched.
+     * Never part of warmup-artifact cache keys: sampling only
+     * changes how the measurement window is executed.
+     */
+    SamplingConfig sampling;
 
     CacheHierarchy::Config hierarchy =
         CacheHierarchy::Config::scaleOutPod();
@@ -216,6 +226,39 @@ struct RunMetrics
 };
 
 /**
+ * Result of one sampled execution (PodSystem::runSampled).
+ *
+ * `metrics` aggregates the measured intervals only (ramp-up and
+ * gap records are excluded), so its derived ratios are the
+ * sampled estimates of the exact run's values. `samples` holds
+ * one IntervalSample per measured interval — the inputs to the
+ * mean/CI statistics (computeSampleStats) and what the telemetry
+ * interval stream carries for a sampled window.
+ */
+struct SampledRun
+{
+    RunMetrics metrics;
+
+    /** One merged sample per measured interval, in stream order. */
+    std::vector<IntervalSample> samples;
+
+    /** Intervals executed (< the configured max if auto-tuned). */
+    unsigned intervalsRun = 0;
+
+    /** Gap records fast-forwarded (never ran an engine loop). */
+    std::uint64_t skippedRecords = 0;
+
+    /** Post-L2 ops replayed to keep the gaps stream-accurate. */
+    std::uint64_t replayedOps = 0;
+
+    /** Wall clock of gap replay (ops + snapshot restores). */
+    double ffSeconds = 0.0;
+
+    /** Wall clock of the timed (ramp + measured) intervals. */
+    double timedSeconds = 0.0;
+};
+
+/**
  * Design-independent image of one functional warmup window.
  *
  * Under SimMode::Functional the warmup loop's record-to-core
@@ -268,6 +311,69 @@ struct WarmupArtifact : TraceCacheEntry
     }
 };
 
+/**
+ * Design-independent image of one sampled measurement span
+ * (PodSystem::runSampled).
+ *
+ * The same argument that makes WarmupArtifact design-independent
+ * covers the gaps between a sampled run's timed intervals: under
+ * SimMode::Functional the hierarchy evolves identically for every
+ * design, and so does the post-L2 op stream it emits. One pass
+ * over the span (starting from the warm window's hierarchy state)
+ * therefore captures, per period, everything a design needs to
+ * stay stream-accurate while skipping the gap: the op stream to
+ * replay into its own memory system, plus the hierarchy snapshot
+ * at the period's timed start. Replay cost is O(post-L2 ops of
+ * the gap) — typically far below one op per record — instead of
+ * O(records) for either engine loop, which is where sampled
+ * mode's speedup comes from.
+ *
+ * The op stream covers whole periods (the timed stretch of each
+ * period is generated live by the measurement loop and is NOT
+ * replayed); opGapEnd/opPeriodEnd cut it per period. Artifacts
+ * are keyed by trace identity, hierarchy configuration, warm
+ * length and schedule, and shared through the TraceCache.
+ */
+struct SampleSpanArtifact : TraceCacheEntry
+{
+    /** The layout this artifact was cut for. */
+    SampleSchedule schedule;
+
+    /** Post-L2 ops over [warm, warm + spanRecords()), in memory
+     * order (same columns and kinds as WarmupArtifact). */
+    std::vector<Addr> paddr;
+    std::vector<Pc> pc;
+    std::vector<std::uint16_t> coreId;
+    std::vector<std::uint8_t> kind;
+
+    /** Per period: op index at the end of the gap / the period.
+     * Period i replays ops [opPeriodEnd[i-1], opGapEnd[i]). */
+    std::vector<std::uint64_t> opGapEnd;
+    std::vector<std::uint64_t> opPeriodEnd;
+
+    /** Per period: instructions the gap's records carried. */
+    std::vector<std::uint64_t> gapInstructions;
+
+    /** Per period: hierarchy state at the timed start (gap end). */
+    std::vector<CacheHierarchy::Snapshot> hierarchyAtTimedStart;
+
+    /** Total snapshot bytes (filled by the builder). */
+    std::uint64_t hierarchyBytes = 0;
+
+    std::uint64_t
+    cacheBytes() const override
+    {
+        return hierarchyBytes +
+               paddr.size() *
+                   (sizeof(Addr) + sizeof(Pc) +
+                    sizeof(std::uint16_t) +
+                    sizeof(std::uint8_t)) +
+               (opGapEnd.size() + opPeriodEnd.size() +
+                gapInstructions.size()) *
+                   sizeof(std::uint64_t);
+    }
+};
+
 /** One pod: cores + hierarchy + memory system + DRAM models. */
 class PodSystem
 {
@@ -288,6 +394,25 @@ class PodSystem
                    std::uint64_t measure_refs);
 
     /**
+     * Sampled execution of a measurement span (PodConfig::sampling
+     * must be enabled; the caller has already warmed the pod and
+     * built @p span_art for the same trace, warm window and
+     * schedule — computeSampleSchedule(config.sampling,
+     * span_refs) must equal span_art.schedule). Each period's gap
+     * is warmed by replaying the artifact's op stream into the
+     * memory system and restoring its hierarchy snapshot while
+     * the trace cursor fast-forwards; then a timed ramp re-trains
+     * the DRAM/MLP state (excluded from aggregation) and a short
+     * timed interval is measured. Only the measured intervals
+     * reach `metrics`/`samples`. With targetCi set, the run stops
+     * once the per-interval IPC CI is tight enough (after
+     * minIntervals), leaving the trace cursor mid-span. The
+     * schedule depends only on record counts, never on timing.
+     */
+    SampledRun runSampled(std::uint64_t span_refs,
+                          const SampleSpanArtifact &span_art);
+
+    /**
      * Records per dispatch burst of the lightweight warmup loop
      * (power of two). Shared with buildWarmupArtifact, whose
      * dispatch must be bit-compatible.
@@ -304,6 +429,21 @@ class PodSystem
     buildWarmupArtifact(const MaterializedTrace &trace,
                         const CacheHierarchy::Config &hier_cfg,
                         std::uint64_t warm_records);
+
+    /**
+     * One hierarchy-only pass over records [warm_records,
+     * warm_records + sched.spanRecords()) of @p trace, starting
+     * from @p warm_art's hierarchy snapshot: the
+     * design-independent half of a sampled span. The returned
+     * artifact keeps any same-config pod stream-accurate across
+     * the schedule's gaps (see SampleSpanArtifact).
+     */
+    static std::shared_ptr<const SampleSpanArtifact>
+    buildSampleSpanArtifact(const MaterializedTrace &trace,
+                            const CacheHierarchy::Config &hier_cfg,
+                            const WarmupArtifact &warm_art,
+                            std::uint64_t warm_records,
+                            const SampleSchedule &sched);
 
     /**
      * Warm this pod from @p artifact instead of running the trace:
@@ -367,13 +507,38 @@ class PodSystem
     void runWarmup(std::uint64_t warmup_refs);
 
     /**
+     * Per-core engine state threaded across the timed stretches
+     * of one sampled span: each core's next-ready cycle and its
+     * outstanding load-miss window. Without it every stretch
+     * would restart with all cores ready and no misses in
+     * flight, so cores would never feel the latency of work
+     * issued near a stretch's end — decoupling IPC from memory
+     * latency and letting the DRAM backlog grow without bound.
+     */
+    struct MeasureCarry
+    {
+        std::vector<Cycle> readyAt;
+        std::vector<Cycle> window;
+        std::vector<unsigned> depth;
+        bool primed = false;
+    };
+
+    /**
      * Full OoO/MLP timing loop; returns the final cycle.
      * @p measured marks a real measurement window: only then do
      * the telemetry interval stream and histograms accumulate
      * (the all-timed legacy warmup reuses this loop and must not
-     * pollute them).
+     * pollute them). @p start_now rebases the clock: sampled
+     * runs continue each period's timed stretch from the
+     * previous one's end cycle so the DRAM channels' detailed
+     * state (queue backlog, bank busy windows) carries across
+     * the zero-simulated-time gaps instead of restarting cold.
+     * @p carry, when non-null, persists the per-core engine
+     * state between calls the same way (primed on first return).
      */
-    Cycle runMeasure(std::uint64_t measure_refs, bool measured);
+    Cycle runMeasure(std::uint64_t measure_refs, bool measured,
+                     Cycle start_now = 0,
+                     MeasureCarry *carry = nullptr);
 
     /**
      * Close the current interval at @p now: append the deltas
@@ -402,6 +567,16 @@ class PodSystem
 
     /** Interval stream across measured windows (telemetry). */
     std::vector<IntervalSample> intervals_;
+
+    /**
+     * Sampled-mode side channel: IntervalSample deliberately
+     * carries no energy doubles (they don't telescope), but the
+     * sampled aggregate must cover measured intervals only, so
+     * while this flag is up recordInterval also appends each
+     * epoch's four energy deltas here.
+     */
+    bool record_epoch_energy_ = false;
+    std::vector<std::array<double, 4>> epoch_energy_;
 
     /** Allocated only when telemetry histograms are on. */
     std::unique_ptr<TelemetryProbe> probe_;

@@ -1,0 +1,85 @@
+#include "sim/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace fpc {
+
+SampleSchedule
+computeSampleSchedule(const SamplingConfig &cfg,
+                      std::uint64_t span_refs)
+{
+    FPC_ASSERT(cfg.intervalRecords > 0);
+    SampleSchedule s;
+    s.measure = cfg.intervalRecords;
+    s.ramp = cfg.effectiveRampRecords();
+
+    unsigned n = std::max(1u, cfg.intervals);
+    std::uint64_t period = span_refs / n;
+    if (period < s.ramp + s.measure) {
+        n = static_cast<unsigned>(std::max<std::uint64_t>(
+            1, span_refs / (s.ramp + s.measure)));
+        period = span_refs / n;
+        FPC_ASSERT(period >= s.ramp + s.measure);
+    }
+    s.intervals = n;
+    s.period = period;
+    s.gap = period - s.ramp - s.measure;
+    s.epoch = s.ramp ? std::gcd(s.ramp, s.measure) : s.measure;
+    s.rampEpochs = static_cast<std::size_t>(s.ramp / s.epoch);
+    return s;
+}
+
+double
+studentT95(unsigned df)
+{
+    // Two-sided 95% (0.975 quantile). Exact through df = 30;
+    // past that the usual coarse steps bound the value from
+    // above, converging on the normal quantile.
+    static const double kTable[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+        2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+        2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+        2.045,  2.042};
+    if (df == 0)
+        return 0.0;
+    if (df <= 30)
+        return kTable[df - 1];
+    if (df <= 40)
+        return 2.021;
+    if (df <= 60)
+        return 2.000;
+    if (df <= 120)
+        return 1.980;
+    return 1.960;
+}
+
+SampleStats
+computeSampleStats(const std::vector<double> &values)
+{
+    SampleStats s;
+    s.n = static_cast<unsigned>(values.size());
+    if (s.n == 0)
+        return s;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    s.mean = sum / s.n;
+    if (s.n < 2)
+        return s;
+    double ss = 0.0;
+    for (double v : values) {
+        const double d = v - s.mean;
+        ss += d * d;
+    }
+    const double var = ss / (s.n - 1);
+    s.ci95 = studentT95(s.n - 1) *
+             std::sqrt(var / static_cast<double>(s.n));
+    return s;
+}
+
+} // namespace fpc

@@ -79,6 +79,19 @@ SweepOptions::effectiveIntervalRecords() const
     return std::max<std::uint64_t>(1, measureRecords(scale) / 32);
 }
 
+SamplingConfig
+SweepOptions::samplingConfig() const
+{
+    SamplingConfig sc;
+    sc.enabled = sampleMode;
+    if (sampleIntervals)
+        sc.intervals = sampleIntervals;
+    if (sampleIntervalRecords)
+        sc.intervalRecords = sampleIntervalRecords;
+    sc.targetCi = sampleTargetCi;
+    return sc;
+}
+
 ResilienceOptions
 ResilienceOptions::fromSweepOptions(const SweepOptions &opts)
 {
@@ -156,6 +169,25 @@ parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
     } else if (!std::strcmp(argv[i], "--trace-out") &&
                i + 1 < argc) {
         opts.traceOut = argv[++i];
+    } else if (!std::strcmp(argv[i], "--sample-mode")) {
+        opts.sampleMode = true;
+    } else if (!std::strcmp(argv[i], "--sample-intervals") &&
+               i + 1 < argc) {
+        // The tuning flags imply the mode, like --time-out
+        // implies --time.
+        opts.sampleMode = true;
+        opts.sampleIntervals = static_cast<unsigned>(
+            std::strtoul(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i],
+                            "--sample-interval-records") &&
+               i + 1 < argc) {
+        opts.sampleMode = true;
+        opts.sampleIntervalRecords =
+            std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--sample-target-ci") &&
+               i + 1 < argc) {
+        opts.sampleMode = true;
+        opts.sampleTargetCi = std::atof(argv[++i]);
     } else {
         return false;
     }
@@ -170,7 +202,9 @@ const char *kCommonFlagsUsage =
     "[--journal DIR] [--resume] [--retries N] [--backoff-ms N] "
     "[--point-deadline-s F] [--fault-plan PLAN] "
     "[--interval-records N] [--histograms] "
-    "[--timeseries-out FILE] [--trace-out FILE]";
+    "[--timeseries-out FILE] [--trace-out FILE] "
+    "[--sample-mode] [--sample-intervals N] "
+    "[--sample-interval-records N] [--sample-target-ci F]";
 
 bool
 checkWorkloadFilter(const SweepOptions &opts)
@@ -403,6 +437,78 @@ warmupArtifactKey(const ExperimentPoint &point,
            hierarchySignature(point.cfg.pod);
 }
 
+/**
+ * Span artifacts are additionally keyed by the schedule's cut
+ * points (intervals/period/gap) plus the ramp split, so any two
+ * points acquiring the same key agree on the full SampleSchedule
+ * (runSampled asserts as much).
+ */
+std::string
+sampleArtifactKey(const ExperimentPoint &point,
+                  std::uint64_t warm, const SampleSchedule &sched)
+{
+    return "sample/" + point.traceKey() + "/" +
+           std::to_string(warm) + "/" +
+           hierarchySignature(point.cfg.pod) + "/" +
+           std::to_string(sched.intervals) + "." +
+           std::to_string(sched.period) + "." +
+           std::to_string(sched.gap) + "." +
+           std::to_string(sched.ramp);
+}
+
+/**
+ * Per-metric mean + 95% CI extras of a sampled run. The means
+ * average the per-interval values (the estimator the CI belongs
+ * to); the headline metrics fields stay ratio-of-sums over the
+ * measured intervals.
+ */
+void
+appendSampledExtras(
+    const SampledRun &sr,
+    std::vector<std::pair<std::string, double>> &extra)
+{
+    std::vector<double> ipc, miss, lat, bw;
+    ipc.reserve(sr.samples.size());
+    miss.reserve(sr.samples.size());
+    lat.reserve(sr.samples.size());
+    bw.reserve(sr.samples.size());
+    for (const IntervalSample &s : sr.samples) {
+        ipc.push_back(
+            s.cycles ? static_cast<double>(s.instructions) /
+                           s.cycles
+                     : 0.0);
+        miss.push_back(
+            s.demandAccesses
+                ? static_cast<double>(s.demandAccesses -
+                                      s.demandHits) /
+                      s.demandAccesses
+                : 0.0);
+        lat.push_back(
+            s.demandAccesses
+                ? static_cast<double>(s.memLatencyCycles) /
+                      s.demandAccesses
+                : 0.0);
+        // Same 3GHz convention as RunMetrics.
+        bw.push_back(s.cycles
+                         ? static_cast<double>(s.offchipBytes) /
+                               (static_cast<double>(s.cycles) /
+                                3.0)
+                         : 0.0);
+    }
+    extra.emplace_back("sampled_intervals",
+                       static_cast<double>(sr.intervalsRun));
+    const auto put = [&extra](const char *name,
+                              const std::vector<double> &vals) {
+        const SampleStats st = computeSampleStats(vals);
+        extra.emplace_back(std::string(name) + "_mean", st.mean);
+        extra.emplace_back(std::string(name) + "_ci95", st.ci95);
+    };
+    put("ipc", ipc);
+    put("miss_ratio", miss);
+    put("avg_latency", lat);
+    put("offchip_gbps", bw);
+}
+
 } // namespace
 
 PointResult
@@ -467,9 +573,10 @@ runPoint(const ExperimentPoint &point)
     // (hierarchy snapshot + post-L2 op stream) per warm window.
     span_t0 = tracer ? tracer->nowUs() : 0;
     t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const WarmupArtifact> warm_artifact;
     if (arena != nullptr && warmupArtifactEligible(point, warm)) {
         bool built = false;
-        auto artifact =
+        warm_artifact =
             std::static_pointer_cast<const WarmupArtifact>(
                 point.traceCache->acquire(
                     warmupArtifactKey(point, warm), warm,
@@ -484,7 +591,7 @@ runPoint(const ExperimentPoint &point)
         out.timing.replayedWarmup = true;
         out.timing.builtWarmup = built;
         faultPoint("warmup-restore", point.key());
-        exp.pod().applyWarmup(*artifact);
+        exp.pod().applyWarmup(*warm_artifact);
         replay->seekTo(warm);
     } else if (warm > 0) {
         exp.run(warm, 0);
@@ -500,7 +607,64 @@ runPoint(const ExperimentPoint &point)
 
     span_t0 = tracer ? tracer->nowUs() : 0;
     t0 = std::chrono::steady_clock::now();
-    out.metrics = exp.run(0, measure);
+    if (point.cfg.pod.sampling.enabled) {
+        // Sampled measurement: per period, warm the gap from the
+        // design-independent span artifact (op replay + snapshot
+        // restore) and time only a short ramp + interval, over
+        // the same span the exact run would time end to end. The
+        // aggregate covers the measured intervals only; the
+        // mean/CI extras carry the statistics.
+        const SampleSchedule sched = computeSampleSchedule(
+            point.cfg.pod.sampling, measure);
+        std::shared_ptr<const SampleSpanArtifact> span_art;
+        if (arena != nullptr && warm_artifact != nullptr) {
+            span_art = std::static_pointer_cast<
+                const SampleSpanArtifact>(
+                point.traceCache->acquire(
+                    sampleArtifactKey(point, warm, sched),
+                    sched.spanRecords(),
+                    [&](std::uint64_t) -> TraceCache::EntryPtr {
+                        faultPoint("span-build",
+                                   point.traceKey());
+                        return PodSystem::buildSampleSpanArtifact(
+                            *arena, point.cfg.pod.hierarchy,
+                            *warm_artifact, warm, sched);
+                    }));
+        } else {
+            // No shared arena (trace cache off) or no warmup
+            // artifact: build the span privately from an
+            // identical materialization so sampled results stay
+            // bit-identical to the cached path.
+            std::shared_ptr<const MaterializedTrace> local =
+                arena;
+            if (local == nullptr) {
+                auto built = std::make_shared<MaterializedTrace>();
+                materializeTrace(
+                    makeWorkload(point.workload,
+                                 point.cfg.pageBytes,
+                                 point.traceSeed()),
+                    warm + measure, *built);
+                local = built;
+            }
+            std::shared_ptr<const WarmupArtifact> wa =
+                warm_artifact;
+            if (wa == nullptr)
+                wa = PodSystem::buildWarmupArtifact(
+                    *local, point.cfg.pod.hierarchy, warm);
+            span_art = PodSystem::buildSampleSpanArtifact(
+                *local, point.cfg.pod.hierarchy, *wa, warm,
+                sched);
+        }
+        const SampledRun sr =
+            exp.pod().runSampled(measure, *span_art);
+        out.metrics = sr.metrics;
+        out.timing.sampled = true;
+        out.timing.sampleFfSeconds = sr.ffSeconds;
+        out.timing.sampleTimedSeconds = sr.timedSeconds;
+        appendSampledExtras(sr, out.extra);
+    } else {
+        out.metrics = exp.run(0, measure);
+    }
     out.timing.measureSeconds = secondsSince(t0);
     if (tracer)
         tracer->span("phase", "measure:" + point.key(), span_t0,
@@ -709,15 +873,53 @@ SweepRunner::runResilient(
             // through runPoint; planning them like standard
             // points over-counts at worst, which only delays an
             // entry's eager release until the LRU budget acts.
-            cache->plan("trace/" + p.traceKey(),
-                        p.standardRecords());
+            //
+            // Acquires are counted per point, not per identity:
+            // a point that acquires the same arena several times
+            // (a mix colocating a workload with itself, or a
+            // custom runner re-acquiring per sub-run) must plan
+            // all of them, or the eager release after its first
+            // release would drop the slot while the point still
+            // holds — and will re-acquire — the entry.
+            std::vector<std::pair<std::string, std::uint64_t>>
+                needs;
+            needs.emplace_back("trace/" + p.traceKey(),
+                               p.standardRecords());
             // Identities a custom run function acquires beyond
             // its own (a colocation mix's other tenants).
-            for (const auto &[key, records] : p.extraTraceNeeds)
-                cache->plan(key, records);
+            for (const auto &need : p.extraTraceNeeds)
+                needs.push_back(need);
+            for (std::size_t a = 0; a < needs.size(); ++a) {
+                std::uint64_t units = needs[a].second;
+                std::uint64_t acquires = 1;
+                bool counted = false;
+                for (std::size_t b = 0; b < needs.size(); ++b) {
+                    if (b == a || needs[b].first != needs[a].first)
+                        continue;
+                    if (b < a) {
+                        counted = true; // already planned with a
+                        break;
+                    }
+                    units = std::max(units, needs[b].second);
+                    ++acquires;
+                }
+                if (!counted)
+                    cache->plan(needs[a].first, units, acquires);
+            }
             const std::uint64_t warm = p.warmupWindow();
-            if (!p.inBandWarmup && warmupArtifactEligible(p, warm))
+            if (!p.inBandWarmup &&
+                warmupArtifactEligible(p, warm)) {
                 cache->plan(warmupArtifactKey(p, warm), warm);
+                if (p.cfg.pod.sampling.enabled) {
+                    const SampleSchedule sched =
+                        computeSampleSchedule(
+                            p.cfg.pod.sampling,
+                            measureRecords(p.scale));
+                    cache->plan(
+                        sampleArtifactKey(p, warm, sched),
+                        sched.spanRecords());
+                }
+            }
         }
         if (res.tracer) {
             SpanTracer *tr = res.tracer;
@@ -916,13 +1118,23 @@ appendTiming(std::string &out, const PointTiming &t,
               "%s\"timing\": {\"trace_s\": %.4f, "
               "\"warmup_s\": %.4f, \"measure_s\": %.4f, "
               "\"replayed_trace\": %s, \"generated_trace\": %s, "
-              "\"replayed_warmup\": %s, \"built_warmup\": %s}",
+              "\"replayed_warmup\": %s, \"built_warmup\": %s",
               indent, t.traceSeconds, t.warmupSeconds,
               t.measureSeconds,
               t.replayedTrace ? "true" : "false",
               t.generatedTrace ? "true" : "false",
               t.replayedWarmup ? "true" : "false",
               t.builtWarmup ? "true" : "false");
+    // Sampled points split measure_s into the fast-forward and
+    // timed shares; exact points keep the legacy schema
+    // byte-for-byte.
+    if (t.sampled) {
+        appendFmt(out,
+                  ", \"sampled\": true, \"sample_ff_s\": %.4f, "
+                  "\"sample_timed_s\": %.4f",
+                  t.sampleFfSeconds, t.sampleTimedSeconds);
+    }
+    out += "}";
 }
 
 void
@@ -1108,6 +1320,8 @@ renderTimingReport(const std::vector<ExperimentRun> &runs,
     appendFmt(out, "  %-52s %8s %9s %9s %9s\n", "point", "trace",
               "warmup", "measure", "total");
     double trace_s = 0, warm_s = 0, meas_s = 0;
+    double ff_s = 0, timed_s = 0;
+    bool any_sampled = false;
     for (const ExperimentRun &run : runs) {
         for (std::size_t i = 0; i < run.results.size(); ++i) {
             const PointTiming &t = run.results[i].timing;
@@ -1123,6 +1337,18 @@ renderTimingReport(const std::vector<ExperimentRun> &runs,
                       key.c_str(), t.traceSeconds, trace_tag,
                       t.warmupSeconds, warm_tag, t.measureSeconds,
                       t.totalSeconds());
+            if (t.sampled) {
+                // Sampled measurement: where measure went —
+                // functional fast-forward vs timed intervals.
+                appendFmt(out,
+                          "  %-52s sampled: ff %.2fs + timed "
+                          "%.2fs\n",
+                          "", t.sampleFfSeconds,
+                          t.sampleTimedSeconds);
+                ff_s += t.sampleFfSeconds;
+                timed_s += t.sampleTimedSeconds;
+                any_sampled = true;
+            }
             trace_s += t.traceSeconds;
             warm_s += t.warmupSeconds;
             meas_s += t.measureSeconds;
@@ -1131,6 +1357,12 @@ renderTimingReport(const std::vector<ExperimentRun> &runs,
     appendFmt(out, "  %-52s %7.2fs  %7.2fs  %8.2fs %8.2fs\n",
               "TOTAL", trace_s, warm_s, meas_s,
               trace_s + warm_s + meas_s);
+    if (any_sampled) {
+        appendFmt(out,
+                  "  sampled measure total: ff %.2fs + timed "
+                  "%.2fs\n",
+                  ff_s, timed_s);
+    }
     appendFmt(out,
               "trace cache: %" PRIu64 " hit(s), %" PRIu64
               " miss(es), %" PRIu64 " regeneration(s), %" PRIu64

@@ -147,6 +147,31 @@ struct SweepOptions
      */
     std::string traceOut;
 
+    /**
+     * Sampled execution (--sample-mode): measure each point over
+     * short timed intervals separated by functional fast-forward
+     * instead of timing the full window, and report per-metric
+     * mean + 95% CI extras. Off by default — the exact report
+     * stays byte-identical. Points that pin their own sampling
+     * configuration (ExperimentPoint::pinSampling) are exempt.
+     */
+    bool sampleMode = false;
+
+    /** Measurement intervals per point (--sample-intervals;
+     * 0 = SamplingConfig default). */
+    unsigned sampleIntervals = 0;
+
+    /** Timed records per measured interval
+     * (--sample-interval-records; 0 = SamplingConfig default). */
+    std::uint64_t sampleIntervalRecords = 0;
+
+    /** Auto-tune target relative CI half-width of IPC
+     * (--sample-target-ci; 0 = run all intervals). */
+    double sampleTargetCi = 0.0;
+
+    /** The sampling configuration these options select. */
+    SamplingConfig samplingConfig() const;
+
     /** Workloads selected by the filter (default: all six). */
     std::vector<WorkloadKind> workloads() const;
 
@@ -296,6 +321,16 @@ struct PointTiming
     /** This point built the shared warmup artifact. */
     bool builtWarmup = false;
 
+    /** The measurement ran sampled (measureSeconds then splits
+     * into the fast-forward and timed-interval shares below). */
+    bool sampled = false;
+
+    /** Sampled mode: trace fast-forward + functional re-warm. */
+    double sampleFfSeconds = 0.0;
+
+    /** Sampled mode: timed ramp + measured intervals. */
+    double sampleTimedSeconds = 0.0;
+
     double
     totalSeconds() const
     {
@@ -426,6 +461,14 @@ struct ExperimentPoint
      * means no tracing.
      */
     SpanTracer *tracer = nullptr;
+
+    /**
+     * The experiment pinned cfg.pod.sampling and the sweep-wide
+     * --sample-mode must leave it alone — how the
+     * sampling_validation experiment keeps its exact/sampled
+     * twins paired regardless of CLI flags.
+     */
+    bool pinSampling = false;
 
     /** Globally unique key: "<experiment>/<label>". */
     std::string key() const;
