@@ -24,6 +24,7 @@ registerAllExperiments(ExperimentRegistry &reg)
     registerFrontier(reg);
     registerColocation(reg);
     registerSamplingValidation(reg);
+    registerIntrospection(reg);
 }
 
 } // namespace fpcbench

@@ -35,6 +35,7 @@ void registerAblationPredictor(ExperimentRegistry &reg);
 void registerFrontier(ExperimentRegistry &reg);
 void registerColocation(ExperimentRegistry &reg);
 void registerSamplingValidation(ExperimentRegistry &reg);
+void registerIntrospection(ExperimentRegistry &reg);
 
 /** Register every paper experiment, in presentation order. */
 void registerAllExperiments(ExperimentRegistry &reg);

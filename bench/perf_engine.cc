@@ -222,6 +222,14 @@ runTraceBench(WorkloadKind wk, double scale, std::uint64_t seed,
     return out;
 }
 
+/** Instrumentation armed during one telemetry repetition. */
+enum class TelemetryMode
+{
+    Off,           //!< no probes at all (the baseline side)
+    Probes,        //!< PR8/PR9: interval stream + histograms
+    Introspection, //!< miss attribution + design probes + heatmaps
+};
+
 /** One telemetry-overhead repetition: measured-phase wall clock
  * with the probes on or off, plus what they produced. */
 struct TelemetryRep
@@ -233,18 +241,31 @@ struct TelemetryRep
 
 TelemetryRep
 runTelemetryRep(WorkloadKind wk, double scale, std::uint64_t seed,
-                std::uint64_t capacity_mb, bool telemetry)
+                std::uint64_t capacity_mb, TelemetryMode mode)
 {
     Experiment::Config cfg;
     cfg.design = "footprint";
     cfg.capacityMb = capacity_mb;
-    if (telemetry) {
+    if (mode == TelemetryMode::Probes) {
         // Both features on: every probe site and the epoch check
         // are live, so this bounds the full enabled cost.
         cfg.pod.telemetry.intervalRecords =
             std::max<std::uint64_t>(1,
                                     measureRecords(scale) / 32);
         cfg.pod.telemetry.histograms = true;
+    } else if (mode == TelemetryMode::Introspection) {
+        // The full introspection surface: shadow-directory miss
+        // attribution, per-structure probe columns and spatial
+        // heatmaps, streamed per epoch — the enabled path the
+        // <=2% budget covers. 1-in-64 set sampling is the
+        // classical shadow-tag ratio; it also keeps the shadow
+        // structures inside the LLC, where the budget is won.
+        cfg.pod.telemetry.intervalRecords =
+            std::max<std::uint64_t>(1,
+                                    measureRecords(scale) / 32);
+        cfg.pod.telemetry.missAttributionStride = 64;
+        cfg.pod.telemetry.designProbes = true;
+        cfg.pod.telemetry.heatmaps = true;
     }
 
     WorkloadSpec spec = makeWorkload(wk, cfg.pageBytes, seed);
@@ -277,6 +298,24 @@ metricsIdentical(const RunMetrics &x, const RunMetrics &y)
            x.stackedBytes == y.stackedBytes &&
            x.offchipActs == y.offchipActs &&
            x.stackedActs == y.stackedActs;
+}
+
+/** Do the probe-column deltas telescope to the aggregate? */
+bool
+probesConserve(const TelemetryRep &rep)
+{
+    if (rep.metrics.probeValues.empty() ||
+        rep.intervals.empty())
+        return false;
+    std::vector<std::uint64_t> sum(
+        rep.metrics.probeValues.size(), 0);
+    for (const IntervalSample &s : rep.intervals) {
+        if (s.probeValues.size() != sum.size())
+            return false;
+        for (std::size_t c = 0; c < sum.size(); ++c)
+            sum[c] += s.probeValues[c];
+    }
+    return sum == rep.metrics.probeValues;
 }
 
 /** Do the interval deltas sum bit-exactly to the aggregate? */
@@ -621,28 +660,49 @@ main(int argc, char **argv)
     // enforced by scripts/check_bench_regression.py.
     constexpr int kTelemetryReps = 4;
     double telemetry_off_min = 0.0, telemetry_on_min = 0.0;
+    double intro_min = 0.0;
     bool telemetry_identical = true, telemetry_conserves = true;
+    bool intro_identical = true, intro_conserves = true;
     for (int rep = 0; rep < kTelemetryReps; ++rep) {
-        const TelemetryRep off = runTelemetryRep(
-            wk, args.scale, args.seed, capacity_mb, false);
-        const TelemetryRep on = runTelemetryRep(
-            wk, args.scale, args.seed, capacity_mb, true);
+        const TelemetryRep off =
+            runTelemetryRep(wk, args.scale, args.seed,
+                            capacity_mb, TelemetryMode::Off);
+        const TelemetryRep on =
+            runTelemetryRep(wk, args.scale, args.seed,
+                            capacity_mb, TelemetryMode::Probes);
+        const TelemetryRep intro = runTelemetryRep(
+            wk, args.scale, args.seed, capacity_mb,
+            TelemetryMode::Introspection);
         if (rep == 0 || off.measureSeconds < telemetry_off_min)
             telemetry_off_min = off.measureSeconds;
         if (rep == 0 || on.measureSeconds < telemetry_on_min)
             telemetry_on_min = on.measureSeconds;
+        if (rep == 0 || intro.measureSeconds < intro_min)
+            intro_min = intro.measureSeconds;
         telemetry_identical =
             telemetry_identical &&
             metricsIdentical(off.metrics, on.metrics);
         telemetry_conserves =
             telemetry_conserves && intervalsConserve(on);
+        intro_identical =
+            intro_identical &&
+            metricsIdentical(off.metrics, intro.metrics);
+        intro_conserves = intro_conserves &&
+                          intervalsConserve(intro) &&
+                          probesConserve(intro);
     }
     const double telemetry_overhead_pct =
         telemetry_off_min > 0.0
             ? 100.0 * (telemetry_on_min - telemetry_off_min) /
                   telemetry_off_min
             : 0.0;
-    all_identical = all_identical && telemetry_identical;
+    const double intro_overhead_pct =
+        telemetry_off_min > 0.0
+            ? 100.0 * (intro_min - telemetry_off_min) /
+                  telemetry_off_min
+            : 0.0;
+    all_identical =
+        all_identical && telemetry_identical && intro_identical;
     std::printf("\ntelemetry overhead (footprint, intervals + "
                 "histograms, min of %d): %.2f%% "
                 "(off %.3fs, on %.3fs), metrics identical: %s, "
@@ -651,6 +711,13 @@ main(int argc, char **argv)
                 telemetry_off_min, telemetry_on_min,
                 telemetry_identical ? "yes" : "NO",
                 telemetry_conserves ? "yes" : "NO");
+    std::printf("introspection overhead (attribution + design "
+                "probes + heatmaps, min of %d): %.2f%% "
+                "(on %.3fs), metrics identical: %s, "
+                "probes conserve: %s\n",
+                kTelemetryReps, intro_overhead_pct, intro_min,
+                intro_identical ? "yes" : "NO",
+                intro_conserves ? "yes" : "NO");
     std::fprintf(
         json,
         "  \"telemetry\": {\"reps\": %d, "
@@ -658,11 +725,17 @@ main(int argc, char **argv)
         "\"measure_seconds_on\": %.4f, "
         "\"overhead_pct\": %.2f, "
         "\"metrics_identical\": %s, "
-        "\"intervals_conserve\": %s},\n",
+        "\"intervals_conserve\": %s, "
+        "\"measure_seconds_introspection\": %.4f, "
+        "\"introspection_overhead_pct\": %.2f, "
+        "\"introspection_metrics_identical\": %s, "
+        "\"introspection_probes_conserve\": %s},\n",
         kTelemetryReps, telemetry_off_min, telemetry_on_min,
         telemetry_overhead_pct,
         telemetry_identical ? "true" : "false",
-        telemetry_conserves ? "true" : "false");
+        telemetry_conserves ? "true" : "false", intro_min,
+        intro_overhead_pct, intro_identical ? "true" : "false",
+        intro_conserves ? "true" : "false");
 
     // Sampled execution: the same footprint point measured exact
     // and sampled (runPoint twins, as the sampling_validation

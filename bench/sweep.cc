@@ -24,8 +24,11 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/fault.hh"
 #include "experiments/experiments.hh"
+#include "telemetry/heatmap.hh"
 #include "telemetry/timeseries.hh"
 #include "telemetry/trace_events.hh"
 
@@ -218,6 +221,16 @@ main(int argc, char **argv)
             p.cfg.pod.telemetry.intervalRecords =
                 interval_records;
             p.cfg.pod.telemetry.histograms = opts.histograms;
+            // Introspection flags merge non-clobberingly: the
+            // introspection experiment pins its own per-point
+            // values and the CLI flags only ever widen them.
+            p.cfg.pod.telemetry.missAttributionStride = std::max(
+                p.cfg.pod.telemetry.missAttributionStride,
+                opts.missAttribution);
+            p.cfg.pod.telemetry.designProbes |=
+                opts.designProbes;
+            p.cfg.pod.telemetry.heatmaps |=
+                !opts.heatmapOut.empty();
             if (sampling.enabled && !p.pinSampling &&
                 !p.cfg.pod.allTimedWarmup &&
                 p.cfg.pod.numTenants == 0 &&
@@ -345,6 +358,9 @@ main(int argc, char **argv)
                 s.workload =
                     workloadName(run.points[i].workload);
                 s.intervals = run.results[i].intervals;
+                s.probeNames = run.results[i].probeNames;
+                s.probeTotals =
+                    run.results[i].metrics.probeValues;
                 series.push_back(std::move(s));
             }
         }
@@ -354,6 +370,29 @@ main(int argc, char **argv)
             return 1;
         std::printf("wrote %s (%zu point series)\n",
                     opts.timeseriesOut.c_str(), series.size());
+    }
+    if (!opts.heatmapOut.empty()) {
+        std::vector<fpc::HeatmapPoint> cells;
+        for (const ExperimentRun &run : runs) {
+            for (std::size_t i = 0; i < run.points.size(); ++i) {
+                if (run.results[i].failed ||
+                    !run.results[i].heatmap.valid)
+                    continue;
+                fpc::HeatmapPoint h;
+                h.key = run.points[i].key();
+                h.workload =
+                    workloadName(run.points[i].workload);
+                h.design = run.points[i].cfg.design;
+                h.data = run.results[i].heatmap;
+                cells.push_back(std::move(h));
+            }
+        }
+        const std::string hm_json = fpc::renderHeatmapJson(
+            opts.scale, opts.seed, cells);
+        if (!writeTextFile(opts.heatmapOut, hm_json))
+            return 1;
+        std::printf("wrote %s (%zu point heatmaps)\n",
+                    opts.heatmapOut.c_str(), cells.size());
     }
     if (tracer) {
         if (!writeTextFile(opts.traceOut, tracer->render()))

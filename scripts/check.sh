@@ -131,6 +131,23 @@ python3 scripts/check_telemetry.py \
     --timeseries "$BUILD_DIR"/BENCH_fig12_ts.json \
     --report "$BUILD_DIR"/BENCH_fig12_telemetry.json \
     --trace "$BUILD_DIR"/BENCH_fig12_trace.json
+# Introspection slice: the registry experiment pins miss
+# attribution + design probes; the artifact flags add the probe
+# columns and the spatial heatmap. Heatmap cells must sum to the
+# report's aggregate counters, probe columns must telescope, and
+# every journal entry must round-trip the v4 format. CI's
+# telemetry-smoke job additionally byte-diffs --jobs 1 vs 2.
+rm -rf "$BUILD_DIR"/intro_journal
+"$BUILD_DIR"/sweep --quick --jobs "$JOBS" --filter introspection \
+    --no-report --journal "$BUILD_DIR"/intro_journal \
+    --timeseries-out "$BUILD_DIR"/BENCH_intro_ts.json \
+    --heatmap-out "$BUILD_DIR"/BENCH_intro_heat.json \
+    --out "$BUILD_DIR"/BENCH_intro.json
+python3 scripts/check_telemetry.py \
+    --timeseries "$BUILD_DIR"/BENCH_intro_ts.json \
+    --report "$BUILD_DIR"/BENCH_intro.json \
+    --heatmap "$BUILD_DIR"/BENCH_intro_heat.json \
+    --journal "$BUILD_DIR"/intro_journal
 # Sampling slice: the paired exact-vs-sampled validation grid.
 # check_sampling.py enforces >= 90% CI coverage of the exact
 # values, the >= 5x marginal speedup floor (timed + fast-forward

@@ -29,10 +29,13 @@ and matrix coverage (--min-pairs workload pairs and --min-designs
 designs with paired points).
 
 Finally, --telemetry-json validates the `telemetry` section a
-full perf_engine run emits: interval streaming + histograms must
-cost at most --telemetry-budget-pct (default 2%) over the
+full perf_engine run emits: interval streaming + histograms, and
+separately the introspection layer (shadow-directory miss
+attribution + design probes + heatmaps), must each cost at most
+--telemetry-budget-pct (default 2%) over the
 instrumentation-off run, the engine metrics must be bit-identical
-either way, and the interval deltas must conserve. The overhead
+either way, and the interval and probe-column deltas must
+conserve. The overhead
 number in the committed file was measured interleaved
 min-of-reps on an idle machine; the guard reads the file rather
 than re-timing, so it is deterministic on noisy CI runners.
@@ -141,11 +144,31 @@ def check_telemetry_budget(path, budget_pct):
     if not tel.get("intervals_conserve", False):
         print("FAIL: interval deltas do not sum to aggregates")
         violations += 1
+    # Introspection (miss attribution + design probes +
+    # heatmaps) rides under the same budget; older baseline
+    # files without the fields fail until regenerated.
+    intro = tel.get("introspection_overhead_pct", 1e9)
+    print(f"introspection budget guard: overhead "
+          f"{intro:+.2f}% "
+          f"(on {tel.get('measure_seconds_introspection', 0):.3f}s)")
+    if intro > budget_pct:
+        print(f"FAIL: introspection overhead {intro:.2f}% "
+              f"exceeds the {budget_pct:.1f}% budget")
+        violations += 1
+    if not tel.get("introspection_metrics_identical", False):
+        print("FAIL: metrics diverged with introspection "
+              "enabled")
+        violations += 1
+    if not tel.get("introspection_probes_conserve", False):
+        print("FAIL: probe-column deltas do not sum to "
+              "aggregates")
+        violations += 1
     if violations:
         return 1
-    print(f"OK: telemetry costs {max(overhead, 0.0):.2f}% "
+    print(f"OK: telemetry costs {max(overhead, 0.0):.2f}% and "
+          f"introspection {max(intro, 0.0):.2f}% "
           f"(budget {budget_pct:.1f}%), metrics identical, "
-          f"intervals conserve")
+          f"intervals and probes conserve")
     return 0
 
 

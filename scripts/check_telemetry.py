@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the telemetry artifacts a sweep run produced.
 
-Two independent checks, each optional:
+Four independent checks, each optional:
 
 --timeseries TS.json --report SWEEP.json
     Interval-stream conservation against the shipped merged
@@ -10,10 +10,31 @@ Two independent checks, each optional:
     point key in the merged report (tests/test_telemetry.cc
     proves the invariant in-process; this guards the artifacts).
     Per-tenant columns are checked against the report's per-tenant
-    metrics the same way. Also validates artifact shape: every
-    column of a point has the same epoch count, and every epoch is
-    non-degenerate (records can be zero only in a trailing
-    cycles-only epoch).
+    metrics the same way, and when the sweep ran with
+    introspection the probe columns (intro.* plus per-design
+    counters) must each sum to their probe_totals entry. Also
+    validates artifact shape: every column of a point has the same
+    epoch count, and every epoch is non-degenerate (records can be
+    zero only in a trailing cycles-only epoch).
+
+--heatmap HEAT.json [--report SWEEP.json]
+    Spatial-heatmap conservation: for every point, the per-set
+    access/conflict/occupancy cells must sum bit-exactly to their
+    shipped *_total fields, and every channel x bank DRAM grid
+    must carry channels * banks cells per counter summing to its
+    *_total. With --report, each grid's activate total is also
+    cross-checked against the same point's stacked_acts /
+    offchip_acts aggregate — the cells and the report metric come
+    from independent counters, so agreement proves the per-bank
+    split conserves.
+
+--journal DIR
+    v4 journal integrity: every *.pt entry in the directory must
+    open with the "fpcjournal 4" magic, name its point key, and
+    terminate with the "end" sentinel — the structural contract
+    `sweep --resume` relies on (the bit-exact round-trip itself is
+    proven by tests/test_introspection.cc and CI's resume
+    byte-diff).
 
 --trace TRACE.json
     Chrome trace-event schema: the file must be valid JSON with a
@@ -27,11 +48,14 @@ Exit code 0 when every requested check passes, 1 otherwise.
 
 Usage:
   check_telemetry.py --timeseries ts.json --report sweep.json
+  check_telemetry.py --heatmap heat.json [--report sweep.json]
+  check_telemetry.py --journal journal_dir/
   check_telemetry.py --trace trace.json [--min-events 10]
 """
 
 import argparse
 import json
+import os
 import sys
 
 # timeseries column -> merged-report metrics key. The cycles of a
@@ -116,6 +140,21 @@ def check_timeseries(ts_path, report_path):
                 print(f"{key}: sum({col}) = {total} != "
                       f"aggregate {agg} = {metrics[agg]}")
                 violations += 1
+        # Probe columns (sweeps run with introspection): every
+        # name in probe_totals is a streamed column whose epochs
+        # telescope to the shipped total.
+        for name, total in series.get("probe_totals",
+                                      {}).items():
+            if name not in cols:
+                print(f"{key}: probe_totals names {name} but "
+                      f"the column is missing")
+                violations += 1
+                continue
+            got = sum(cols[name])
+            if got != total:
+                print(f"{key}: sum({name}) = {got} != "
+                      f"probe_total {total}")
+                violations += 1
         for tseries in series.get("tenants", []):
             t = tseries["tenant"]
             tpoint = point.get("tenants", [])
@@ -139,6 +178,131 @@ def check_timeseries(ts_path, report_path):
         print(f"FAIL: {violations} timeseries violation(s)")
         return 1
     print("OK: every interval stream sums to its aggregate")
+    return 0
+
+
+def check_cells(key, what, obj, names, expected_len):
+    """Cells-vs-total conservation for one heatmap section."""
+    violations = 0
+    for name in names:
+        cells = obj.get(name)
+        total = obj.get(f"{name}_total")
+        if cells is None or total is None:
+            print(f"{key}: {what} lacks {name}/{name}_total")
+            violations += 1
+            continue
+        if expected_len is not None and \
+                len(cells) != expected_len:
+            print(f"{key}: {what} {name} has {len(cells)} "
+                  f"cells, expected {expected_len}")
+            violations += 1
+        if sum(cells) != total:
+            print(f"{key}: {what} sum({name}) = {sum(cells)} "
+                  f"!= {name}_total = {total}")
+            violations += 1
+    return violations
+
+
+def check_heatmap(heatmap_path, report_path):
+    doc = load(heatmap_path)
+    if doc.get("bench") != "sweep_heatmap":
+        print(f"{heatmap_path}: not a sweep_heatmap artifact")
+        return 1
+    by_key = report_points_by_key(load(report_path)) \
+        if report_path else {}
+    violations = 0
+    checked = 0
+    grids = 0
+    for point in doc.get("points", []):
+        key = point["key"]
+        sets = point.get("sets")
+        if sets is not None:
+            if sets.get("bins", 0) <= 0 or \
+                    sets.get("sets_per_bin", 0) <= 0:
+                print(f"{key}: degenerate set space {sets.get('bins')} "
+                      f"x {sets.get('sets_per_bin')}")
+                violations += 1
+            violations += check_cells(
+                key, "sets", sets,
+                ("access", "conflict", "occupancy"),
+                sets.get("bins"))
+        for grid in point.get("drams", []):
+            cells = grid.get("channels", 0) * grid.get("banks", 0)
+            if cells <= 0:
+                print(f"{key}: empty DRAM grid "
+                      f"{grid.get('name')!r}")
+                violations += 1
+                continue
+            violations += check_cells(
+                key, f"dram {grid.get('name')!r}", grid,
+                ("activates", "reads", "writes"), cells)
+            grids += 1
+            # Independent cross-check: the per-bank activate
+            # cells and the report's window aggregate come from
+            # different counters.
+            report_point = by_key.get(key)
+            if report_point is not None:
+                agg_key = ("stacked_acts"
+                           if grid.get("name") == "stacked"
+                           else "offchip_acts")
+                agg = report_point["metrics"][agg_key]
+                got = grid.get("activates_total", -1)
+                if got != agg:
+                    print(f"{key}: dram {grid.get('name')!r} "
+                          f"activates_total = {got} != report "
+                          f"{agg_key} = {agg}")
+                    violations += 1
+        checked += 1
+    print(f"heatmap guard: {checked} point(s), {grids} DRAM "
+          f"grid(s), report cross-check "
+          f"{'on' if by_key else 'off'}")
+    if checked == 0:
+        print("FAIL: no heatmap points to check")
+        return 1
+    if violations:
+        print(f"FAIL: {violations} heatmap violation(s)")
+        return 1
+    print("OK: every heatmap cell set sums to its aggregate")
+    return 0
+
+
+def check_journal(journal_dir):
+    magic = "fpcjournal 4"
+    entries = 0
+    violations = 0
+    try:
+        names = sorted(os.listdir(journal_dir))
+    except OSError as e:
+        print(f"{journal_dir}: {e}")
+        return 1
+    for name in names:
+        if not name.endswith(".pt"):
+            continue
+        path = os.path.join(journal_dir, name)
+        with open(path, encoding="utf-8",
+                  errors="replace") as f:
+            text = f.read()
+        if not text.startswith(magic + "\n"):
+            print(f"{name}: bad magic (want {magic!r}, got "
+                  f"{text.splitlines()[0][:40]!r})")
+            violations += 1
+            continue
+        if "\nkey " not in text:
+            print(f"{name}: no point key")
+            violations += 1
+        if not text.endswith("\nend\n"):
+            print(f"{name}: missing end sentinel (truncated?)")
+            violations += 1
+        entries += 1
+    print(f"journal guard: {entries} v4 entrie(s) in "
+          f"{journal_dir}")
+    if entries == 0:
+        print("FAIL: no journal entries to check")
+        return 1
+    if violations:
+        print(f"FAIL: {violations} journal violation(s)")
+        return 1
+    print("OK: every journal entry is v4 and complete")
     return 0
 
 
@@ -193,19 +357,28 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--timeseries")
     ap.add_argument("--report")
+    ap.add_argument("--heatmap")
+    ap.add_argument("--journal")
     ap.add_argument("--trace")
     ap.add_argument("--min-events", type=int, default=10)
     args = ap.parse_args()
 
-    if bool(args.timeseries) != bool(args.report):
-        ap.error("--timeseries and --report go together")
-    if not args.timeseries and not args.trace:
-        ap.error("nothing to check: pass --timeseries/--report "
-                 "and/or --trace")
+    if args.timeseries and not args.report:
+        ap.error("--timeseries needs --report")
+    if args.report and not (args.timeseries or args.heatmap):
+        ap.error("--report needs --timeseries and/or --heatmap")
+    if not (args.timeseries or args.heatmap or args.journal
+            or args.trace):
+        ap.error("nothing to check: pass --timeseries/--report, "
+                 "--heatmap, --journal and/or --trace")
 
     rc = 0
     if args.timeseries:
         rc |= check_timeseries(args.timeseries, args.report)
+    if args.heatmap:
+        rc |= check_heatmap(args.heatmap, args.report)
+    if args.journal:
+        rc |= check_journal(args.journal)
     if args.trace:
         rc |= check_trace(args.trace, args.min_events)
     return rc

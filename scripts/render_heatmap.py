@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Render a sweep --heatmap-out artifact.
+
+Two panels per point, straight from the artifact's integer cells:
+
+  sets    per-set-bin access / conflict / occupancy counts over
+          the cache's (decimated) set space
+  drams   one channel x bank grid per DRAM system with activate /
+          read / write counts over the measured window
+
+With matplotlib available, writes one PNG per point: the set
+panel as three aligned bar rows, every DRAM grid as a channel x
+bank image (`--out-dir`, default `heatmap_plots/`). Without it —
+the toolchain image carries no plotting stack — falls back to a
+tidy CSV per point (section, counter, coordinates, value) so the
+data is still consumable, and says so.
+
+Usage:
+  render_heatmap.py heat.json [--out-dir DIR]
+                    [--points KEY_SUBSTR[,KEY_SUBSTR...]]
+"""
+
+import argparse
+import csv
+import json
+import os
+import sys
+
+
+def select_points(doc, filters):
+    out = []
+    for point in doc.get("points", []):
+        key = point["key"]
+        if filters and not any(f in key for f in filters):
+            continue
+        out.append(point)
+    return out
+
+
+def safe_name(key):
+    return "".join(c if c.isalnum() or c in "._-" else "_"
+                   for c in key)
+
+
+def write_csv(point, path):
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["section", "counter", "row", "col", "value"])
+        sets = point.get("sets")
+        if sets is not None:
+            for counter in ("access", "conflict", "occupancy"):
+                for b, v in enumerate(sets[counter]):
+                    w.writerow(["sets", counter, 0, b, v])
+        for grid in point.get("drams", []):
+            banks = grid["banks"]
+            for counter in ("activates", "reads", "writes"):
+                for i, v in enumerate(grid[counter]):
+                    w.writerow([f"dram:{grid['name']}", counter,
+                                i // banks, i % banks, v])
+
+
+def write_png(plt, point, path):
+    sets = point.get("sets")
+    drams = point.get("drams", [])
+    # One row of bar panels for the set space, one row of grid
+    # images per DRAM counter.
+    rows = (1 if sets is not None else 0) + len(drams)
+    rows = max(rows, 1)
+    fig, axes = plt.subplots(
+        rows, 3, figsize=(11, 2.6 * rows), squeeze=False)
+    row = 0
+    if sets is not None:
+        for col, counter in enumerate(
+                ("access", "conflict", "occupancy")):
+            ax = axes[row][col]
+            vals = sets[counter]
+            ax.bar(range(len(vals)), vals, width=1.0)
+            ax.set_title(f"sets.{counter} "
+                         f"({sets['sets_per_bin']} sets/bin)",
+                         fontsize=8)
+            ax.set_xlabel("set bin", fontsize=7)
+            ax.tick_params(labelsize=6)
+        row += 1
+    for grid in drams:
+        channels, banks = grid["channels"], grid["banks"]
+        for col, counter in enumerate(
+                ("activates", "reads", "writes")):
+            ax = axes[row][col]
+            cells = grid[counter]
+            img = [cells[c * banks:(c + 1) * banks]
+                   for c in range(channels)]
+            im = ax.imshow(img, aspect="auto", cmap="viridis")
+            ax.set_title(f"{grid['name']}.{counter}", fontsize=8)
+            ax.set_xlabel("bank", fontsize=7)
+            ax.set_ylabel("channel", fontsize=7)
+            ax.tick_params(labelsize=6)
+            fig.colorbar(im, ax=ax, shrink=0.8)
+        row += 1
+    fig.suptitle(point["key"], fontsize=9)
+    fig.tight_layout(rect=(0, 0, 1, 0.96))
+    fig.savefig(path, dpi=120)
+    plt.close(fig)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("heatmap")
+    ap.add_argument("--out-dir", default="heatmap_plots")
+    ap.add_argument("--points", default="",
+                    help="comma-separated key substrings")
+    args = ap.parse_args()
+
+    with open(args.heatmap) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "sweep_heatmap":
+        print(f"{args.heatmap}: not a sweep_heatmap artifact")
+        return 1
+    filters = [p for p in args.points.split(",") if p]
+    points = select_points(doc, filters)
+    if not points:
+        print("no heatmap points selected")
+        return 1
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib unavailable; writing CSV instead")
+
+    for point in points:
+        base = os.path.join(args.out_dir,
+                            safe_name(point["key"]))
+        if plt is not None:
+            write_png(plt, point, base + ".png")
+            print(f"wrote {base}.png")
+        else:
+            write_csv(point, base + ".csv")
+            print(f"wrote {base}.csv")
+    print(f"rendered {len(points)} point heatmap(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

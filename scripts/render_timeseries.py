@@ -13,11 +13,20 @@ it — the toolchain image carries no plotting stack — falls back to
 a tidy CSV per metric so the data is still consumable, and says so.
 
 `--tenant N` switches to that tenant's per-epoch columns (its
-hit ratio / latency / off-chip traffic), skipping points that have
-fewer tenants.
+hit ratio / latency / off-chip traffic). A tenant id no selected
+point carries is a usage error (exit 1 with the valid range), not
+a silent skip.
+
+`--metric NAME[,NAME...]` bypasses the derived trio and renders
+any raw streamed column verbatim — including the `intro.*`
+introspection columns and the per-design probe columns
+(`footprint.triggering_misses`, `alloy.map_mispredicts`, ...)
+that appear when the sweep ran with --design-probes. Unknown
+names fail with the point's available columns listed.
 
 Usage:
   render_timeseries.py ts.json [--out-dir DIR] [--tenant N]
+                       [--metric NAME[,NAME...]]
                        [--points KEY_SUBSTR[,KEY_SUBSTR...]]
 """
 
@@ -46,7 +55,20 @@ def derive(columns, tenant=False):
     }
 
 
-def select_series(doc, tenant, filters):
+def passthrough(columns, names, key):
+    """Raw streamed columns by name, with a clear failure."""
+    out = {}
+    for name in names:
+        if name not in columns:
+            avail = ", ".join(sorted(columns))
+            raise SystemExit(
+                f"error: {key} has no column {name!r}; "
+                f"available: {avail}")
+        out[name] = list(columns[name])
+    return out
+
+
+def select_series(doc, tenant, filters, metrics):
     """-> list of (key, {metric: [per-epoch values]})."""
     out = []
     for point in doc.get("points", []):
@@ -54,15 +76,23 @@ def select_series(doc, tenant, filters):
         if filters and not any(f in key for f in filters):
             continue
         if tenant is None:
-            out.append((key, derive(point["columns"])))
-            continue
-        match = [t for t in point.get("tenants", [])
-                 if t["tenant"] == tenant]
-        if not match:
-            print(f"skip {key}: no tenant {tenant}")
-            continue
-        out.append((key, derive(match[0]["columns"],
-                                tenant=True)))
+            cols = point["columns"]
+        else:
+            match = [t for t in point.get("tenants", [])
+                     if t["tenant"] == tenant]
+            if not match:
+                have = len(point.get("tenants", []))
+                ids = (f"ids 0..{have - 1}" if have else
+                       "none; run a colocation mix")
+                raise SystemExit(
+                    f"error: {key} has no tenant {tenant} "
+                    f"({have} tenant column set(s), {ids})")
+            cols = match[0]["columns"]
+        if metrics:
+            out.append((key, passthrough(cols, metrics, key)))
+        else:
+            out.append((key, derive(cols,
+                                    tenant=tenant is not None)))
     return out
 
 
@@ -100,6 +130,10 @@ def main():
     ap.add_argument("timeseries")
     ap.add_argument("--out-dir", default="timeseries_plots")
     ap.add_argument("--tenant", type=int, default=None)
+    ap.add_argument("--metric", default="",
+                    help="comma-separated raw column names to "
+                         "render verbatim instead of the "
+                         "derived trio")
     ap.add_argument("--points", default="",
                     help="comma-separated key substrings")
     args = ap.parse_args()
@@ -112,7 +146,8 @@ def main():
         return 1
     interval_records = doc.get("interval_records", 1)
     filters = [p for p in args.points.split(",") if p]
-    series = select_series(doc, args.tenant, filters)
+    metrics = [m for m in args.metric.split(",") if m]
+    series = select_series(doc, args.tenant, filters, metrics)
     if not series:
         print("no point series selected")
         return 1
@@ -128,8 +163,9 @@ def main():
         plt = None
         print("matplotlib unavailable; writing CSV instead")
 
-    for metric in METRICS:
-        base = os.path.join(args.out_dir, f"{metric}{suffix}")
+    for metric in (metrics or METRICS):
+        safe = metric.replace(".", "_")
+        base = os.path.join(args.out_dir, f"{safe}{suffix}")
         if plt is not None:
             write_png(plt, series, metric, interval_records,
                       base + ".png")
@@ -139,7 +175,7 @@ def main():
                       base + ".csv")
             print(f"wrote {base}.csv")
     print(f"rendered {len(series)} point series x "
-          f"{len(METRICS)} metrics")
+          f"{len(metrics or METRICS)} metrics")
     return 0
 
 

@@ -63,8 +63,8 @@ DramChannel::recordActivate(Cycle t)
 }
 
 Cycle
-DramChannel::openRow(Bank &bank, std::uint64_t row, Cycle when,
-                     bool &row_hit)
+DramChannel::openRow(Bank &bank, unsigned bank_idx,
+                     std::uint64_t row, Cycle when, bool &row_hit)
 {
     if (bank.openRow == row) {
         row_hit = true;
@@ -85,6 +85,8 @@ DramChannel::openRow(Bank &bank, std::uint64_t row, Cycle when,
     }
     act_start = activateAllowedAt(act_start);
     recordActivate(act_start);
+    if (!bank_acts_.empty())
+        ++bank_acts_[bank_idx];
 
     bank.openRow = row;
     bank.actAt = act_start;
@@ -95,9 +97,9 @@ DramChannel::openRow(Bank &bank, std::uint64_t row, Cycle when,
 }
 
 Cycle
-DramChannel::casBurst(Bank &bank, Cycle when, Cycle earliest,
-                      bool is_write, unsigned blocks,
-                      Cycle &first_ready)
+DramChannel::casBurst(Bank &bank, unsigned bank_idx, Cycle when,
+                      Cycle earliest, bool is_write,
+                      unsigned blocks, Cycle &first_ready)
 {
     FPC_ASSERT(blocks > 0);
     Cycle cas_at = earliest;
@@ -129,6 +131,8 @@ DramChannel::casBurst(Bank &bank, Cycle when, Cycle earliest,
     if (is_write) {
         last_write_end_ = data_end;
         blocks_wr_.inc(blocks);
+        if (!bank_wr_.empty())
+            bank_wr_[bank_idx] += blocks;
         e_burst_.add(energy_.writeBlockNj * blocks);
         // Write recovery gates the next precharge. The anchor is
         // the logical service time, not a bus-delayed completion:
@@ -140,6 +144,8 @@ DramChannel::casBurst(Bank &bank, Cycle when, Cycle earliest,
                                        recovery + timing_.tWR);
     } else {
         blocks_rd_.inc(blocks);
+        if (!bank_rd_.empty())
+            bank_rd_[bank_idx] += blocks;
         e_burst_.add(energy_.readBlockNj * blocks);
         bank.nextPreAllowed = std::max(bank.nextPreAllowed,
                                        cas_at + timing_.tRTP);
@@ -191,7 +197,8 @@ DramChannel::access(Cycle when, Addr local_addr, bool is_write,
             std::min(remaining, row_blocks - block_in_row);
 
         bool row_hit = false;
-        Cycle cas_earliest = openRow(bank, row, t, row_hit);
+        Cycle cas_earliest =
+            openRow(bank, bank_idx, row, t, row_hit);
         if (first)
             res.rowHit = row_hit;
 
@@ -208,8 +215,8 @@ DramChannel::access(Cycle when, Addr local_addr, bool is_write,
         }
 
         Cycle first_ready = 0;
-        Cycle end = casBurst(bank, t, burst_earliest, is_write,
-                             chunk, first_ready);
+        Cycle end = casBurst(bank, bank_idx, t, burst_earliest,
+                             is_write, chunk, first_ready);
         if (!is_write) {
             const Cycle nominal =
                 burst_earliest + timing_.tCAS + timing_.tBurst;
@@ -246,19 +253,20 @@ DramChannel::compoundAccess(Cycle when, Addr row_addr, bool is_write)
     Bank &bank = banks_[bank_idx];
 
     bool row_hit = false;
-    Cycle cas_earliest = openRow(bank, row, when, row_hit);
+    Cycle cas_earliest =
+        openRow(bank, bank_idx, row, when, row_hit);
     res.rowHit = row_hit;
 
     // Tag read burst (one block of tags).
     Cycle dummy = 0;
-    Cycle tag_end = casBurst(bank, when, cas_earliest, false, 1,
-                             dummy);
+    Cycle tag_end = casBurst(bank, bank_idx, when, cas_earliest,
+                             false, 1, dummy);
 
     // One-cycle tag lookup, then the data CAS.
     Cycle data_earliest = tag_end + 1;
     Cycle first_ready = 0;
-    Cycle end = casBurst(bank, when, data_earliest, is_write, 1,
-                         first_ready);
+    Cycle end = casBurst(bank, bank_idx, when, data_earliest,
+                         is_write, 1, first_ready);
     res.firstBlockReady = first_ready;
     res.done = end;
     maybeAutoPrecharge(bank, end, is_write);
@@ -270,6 +278,15 @@ DramChannel::resetTiming()
 {
     for (Bank &bank : banks_)
         bank = Bank{};
+    // Rebase the heatmap counters with the timing state: after
+    // the warmup/measurement boundary they cover exactly the
+    // measured window (aggregate stats survive as ever-growing
+    // counters; windows are taken as snapshot deltas instead).
+    if (!bank_acts_.empty()) {
+        bank_acts_.assign(bank_acts_.size(), 0);
+        bank_rd_.assign(bank_rd_.size(), 0);
+        bank_wr_.assign(bank_wr_.size(), 0);
+    }
     for (Cycle &t : recent_acts_)
         t = 0;
     recent_act_head_ = 0;

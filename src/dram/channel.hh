@@ -110,6 +110,39 @@ class DramChannel
     void resetStats() { stats_.resetAll(); }
 
     /**
+     * Allocate per-bank activate/read/write counters (heatmap
+     * telemetry). Off by default: the hot path then tests one
+     * empty-vector flag per access. The counters are cleared by
+     * resetTiming(), so after the warmup/measurement boundary
+     * they cover exactly the measured window and sum bit-exactly
+     * to the window deltas of the aggregate counters.
+     */
+    void
+    enableBankCounters()
+    {
+        bank_acts_.assign(timing_.numBanks, 0);
+        bank_rd_.assign(timing_.numBanks, 0);
+        bank_wr_.assign(timing_.numBanks, 0);
+    }
+
+    bool bankCountersEnabled() const
+    {
+        return !bank_acts_.empty();
+    }
+    std::uint64_t bankActivates(unsigned bank) const
+    {
+        return bank_acts_[bank];
+    }
+    std::uint64_t bankBlocksRead(unsigned bank) const
+    {
+        return bank_rd_[bank];
+    }
+    std::uint64_t bankBlocksWritten(unsigned bank) const
+    {
+        return bank_wr_[bank];
+    }
+
+    /**
      * Clear all bank/bus reservation state (open rows, activate
      * windows, bus occupancy) while keeping the statistics. Used at
      * the two-phase engine's warmup/measurement boundary so the
@@ -167,8 +200,8 @@ class DramChannel
     static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
 
     /** Ensure @p row is open in @p bank; returns ACT-done time. */
-    Cycle openRow(Bank &bank, std::uint64_t row, Cycle when,
-                  bool &row_hit);
+    Cycle openRow(Bank &bank, unsigned bank_idx,
+                  std::uint64_t row, Cycle when, bool &row_hit);
 
     /** Rank-level earliest time an activate may issue at/after t. */
     Cycle activateAllowedAt(Cycle t);
@@ -177,8 +210,8 @@ class DramChannel
     void recordActivate(Cycle t);
 
     /** One CAS of @p blocks sequential blocks; returns data end. */
-    Cycle casBurst(Bank &bank, Cycle when, Cycle earliest,
-                   bool is_write, unsigned blocks,
+    Cycle casBurst(Bank &bank, unsigned bank_idx, Cycle when,
+                   Cycle earliest, bool is_write, unsigned blocks,
                    Cycle &first_ready);
 
     /** Close the row per policy bookkeeping after an access. */
@@ -207,6 +240,11 @@ class DramChannel
     double bank_wait_ = 0.0;
     double bus_wait_ = 0.0;
     double reads_n_ = 0.0;
+
+    /** Per-bank heatmap counters (empty = disabled). */
+    std::vector<std::uint64_t> bank_acts_;
+    std::vector<std::uint64_t> bank_rd_;
+    std::vector<std::uint64_t> bank_wr_;
 
     StatGroup stats_;
     Counter acts_;

@@ -101,6 +101,28 @@ class DramSystem
     /** Banks busy across all channels at @p now (telemetry). */
     unsigned busyBanks(Cycle now) const;
 
+    /**
+     * Enable per-bank activate/read/write counters on every
+     * channel (heatmap telemetry; see
+     * DramChannel::enableBankCounters).
+     */
+    void
+    enableBankCounters()
+    {
+        for (auto &ch : channels_)
+            ch->enableBankCounters();
+    }
+
+    bool
+    bankCountersEnabled() const
+    {
+        return !channels_.empty() &&
+               channels_.front()->bankCountersEnabled();
+    }
+
+    /** Banks per channel (heatmap grid height). */
+    unsigned numBanks() const { return config_.timing.numBanks; }
+
     /** Aggregates across channels. */
     std::uint64_t totalActivates() const;
     std::uint64_t totalRowHits() const;

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "dramcache/design_registry.hh"
+#include "telemetry/introspection.hh"
 
 namespace fpc {
 
@@ -60,6 +61,8 @@ AlloyCache::fill(Cycle when, Addr block_addr, bool dirty)
         }
     }
     if (tad.valid) {
+        if (intro_)
+            intro_->noteSetConflict(set);
         quota_.release(tenantOfAddr(tad.blockId * kBlockBytes));
         if (tad.dirty) {
             // The victim leaves through the same TAD stream: read
@@ -91,6 +94,8 @@ AlloyCache::access(Cycle now, const MemRequest &req)
     demand_accesses_.inc();
     const Addr block_addr = blockAlign(req.paddr);
     const std::uint64_t set = setOf(block_addr);
+    if (intro_)
+        intro_->noteSetAccess(set);
     const Tad &tad = tads_[set];
     const bool hit = tad.valid &&
                      tad.blockId == blockNumber(block_addr);
@@ -171,6 +176,35 @@ AlloyCache::writeback(Cycle now, Addr block_addr)
     } else if (timed()) {
         offchip_.access(now, block_addr, true, 1);
     }
+}
+
+void
+AlloyCache::attachIntrospection(CacheIntrospection *intro)
+{
+    intro_ = intro;
+    if (intro_)
+        intro_->configureSetSpace(num_sets_);
+}
+
+void
+AlloyCache::finalizeIntrospection()
+{
+    if (!intro_)
+        return;
+    // Direct-mapped: one TAD per set. Batch consecutive resident
+    // sets per bin would need binOf; one call per TAD is fine at
+    // finalize time (runs once per measured run).
+    for (std::uint64_t set = 0; set < num_sets_; ++set) {
+        if (tads_[set].valid)
+            intro_->noteSetOccupied(set, 1);
+    }
+}
+
+void
+AlloyCache::visitStatGroups(
+    const std::function<void(const StatGroup &)> &fn) const
+{
+    fn(stats_);
 }
 
 void

@@ -77,6 +77,12 @@ class AlloyCache : public MemorySystem
     MemSystemResult access(Cycle now, const MemRequest &req) override;
     void writeback(Cycle now, Addr block_addr) override;
 
+    void attachIntrospection(CacheIntrospection *intro) override;
+    void finalizeIntrospection() override;
+    void visitStatGroups(
+        const std::function<void(const StatGroup &)> &fn)
+        const override;
+
     void
     prefetchFor(Addr paddr) const override
     {
@@ -174,6 +180,8 @@ class AlloyCache : public MemorySystem
     SetPartitionSpec partition_;
     /** Per-tenant TAD quota (tenant.policy=quota). */
     TenantQuota quota_;
+    /** Introspection sink (null = off; see introspection.hh). */
+    CacheIntrospection *intro_ = nullptr;
 
     StatGroup stats_;
     Counter demand_accesses_;

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "dramcache/design_registry.hh"
+#include "telemetry/introspection.hh"
 
 namespace fpc {
 
@@ -195,6 +196,10 @@ BansheeCache::installPage(Cycle when, Addr page_id,
         }
     }
     if (w.valid) {
+        if (intro_) {
+            intro_->noteSetConflict(set);
+            intro_->noteTouchedBlocks(w.touched.count());
+        }
         quota_.release(pageTenant(w.pageId));
         replacements_.inc();
         const unsigned dirty = w.dirty.count();
@@ -228,6 +233,9 @@ BansheeCache::installPage(Cycle when, Addr page_id,
     w.freq = freq;
     w.valid = true;
     w.dirty.reset();
+    w.touched.reset();
+    if (intro_)
+        intro_->noteFetchedBlocks(blocks_per_page_);
     markMappingDirty(when, page_id);
     return true;
 }
@@ -284,6 +292,8 @@ BansheeCache::access(Cycle now, const MemRequest &req)
     demand_accesses_.inc();
     const Addr page_id = req.paddr >> page_shift_;
     const std::uint64_t set = setOf(page_id);
+    if (intro_)
+        intro_->noteSetAccess(set);
     const Cycle tag_ready = resolveMapping(now, page_id);
     const bool sample =
         (demand_accesses_.value() & sample_mask_) == 0;
@@ -292,6 +302,8 @@ BansheeCache::access(Cycle now, const MemRequest &req)
     if (w != config_.assoc) {
         Way &way = ways_[set * config_.assoc + w];
         hits_.inc();
+        if (intro_)
+            way.touched.set(offsetOf(req.paddr));
         if (sample && ++way.freq >= config_.freqMax) {
             // Local aging: halve the set so duels stay decidable.
             const std::size_t base = set * config_.assoc;
@@ -356,6 +368,41 @@ BansheeCache::writeback(Cycle now, Addr block_addr)
     if (timed())
         offchip_.access(tag_ready, blockAlign(block_addr), true,
                         1);
+}
+
+void
+BansheeCache::attachIntrospection(CacheIntrospection *intro)
+{
+    intro_ = intro;
+    if (intro_)
+        intro_->configureSetSpace(sets_);
+}
+
+void
+BansheeCache::finalizeIntrospection()
+{
+    if (!intro_)
+        return;
+    for (std::uint64_t set = 0; set < sets_; ++set) {
+        const std::size_t base = set * config_.assoc;
+        std::uint64_t n = 0;
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            const Way &way = ways_[base + w];
+            if (!way.valid)
+                continue;
+            ++n;
+            intro_->noteTouchedBlocks(way.touched.count());
+        }
+        if (n)
+            intro_->noteSetOccupied(set, n);
+    }
+}
+
+void
+BansheeCache::visitStatGroups(
+    const std::function<void(const StatGroup &)> &fn) const
+{
+    fn(stats_);
 }
 
 void

@@ -87,6 +87,12 @@ class BansheeCache : public MemorySystem
     MemSystemResult access(Cycle now, const MemRequest &req) override;
     void writeback(Cycle now, Addr block_addr) override;
 
+    void attachIntrospection(CacheIntrospection *intro) override;
+    void finalizeIntrospection() override;
+    void visitStatGroups(
+        const std::function<void(const StatGroup &)> &fn)
+        const override;
+
     void
     prefetchFor(Addr paddr) const override
     {
@@ -165,6 +171,12 @@ class BansheeCache : public MemorySystem
         bool valid = false;
         /** Dirty blocks of the resident page. */
         BlockBitmap dirty;
+        /**
+         * Demanded blocks of the resident page. Maintained only
+         * while introspection is attached (fill-accuracy tallies
+         * against the whole-page fills).
+         */
+        BlockBitmap touched;
     };
 
     /** Per-set challenger for frequency-based replacement. */
@@ -276,6 +288,8 @@ class BansheeCache : public MemorySystem
     SetPartitionSpec partition_;
     /** Per-tenant frame quota (tenant.policy=quota). */
     TenantQuota quota_;
+    /** Introspection sink (null = off; see introspection.hh). */
+    CacheIntrospection *intro_ = nullptr;
 
     StatGroup stats_;
     Counter demand_accesses_;

@@ -1,6 +1,7 @@
 #include "dramcache/block_cache.hh"
 
 #include "common/logging.hh"
+#include "telemetry/introspection.hh"
 
 namespace fpc {
 
@@ -62,6 +63,8 @@ void
 BlockCache::evictWay(Cycle when, std::uint64_t set, Way &way)
 {
     FPC_ASSERT(way.valid);
+    if (intro_)
+        intro_->noteSetConflict(set);
     const Addr block_addr = way.blockId * kBlockBytes;
     quota_.release(tenantOfAddr(block_addr));
     if (way.dirty) {
@@ -199,6 +202,8 @@ BlockCache::access(Cycle now, const MemRequest &req)
     demand_accesses_.inc();
     const Addr block_addr = blockAlign(req.paddr);
     const Cycle t = now + config_.missMapLatencyCycles;
+    if (intro_)
+        intro_->noteSetAccess(setOf(block_addr));
 
     if (missmap_.present(block_addr)) {
         // MissMap guarantees presence: compound access serves it.
@@ -248,6 +253,38 @@ BlockCache::writeback(Cycle now, Addr block_addr)
     } else if (timed()) {
         offchip_.access(t, block_addr, true, 1);
     }
+}
+
+void
+BlockCache::attachIntrospection(CacheIntrospection *intro)
+{
+    intro_ = intro;
+    if (intro_)
+        intro_->configureSetSpace(num_sets_);
+}
+
+void
+BlockCache::finalizeIntrospection()
+{
+    if (!intro_)
+        return;
+    for (std::uint64_t set = 0; set < num_sets_; ++set) {
+        const std::size_t base = set * config_.dataBlocksPerRow;
+        std::uint64_t n = 0;
+        for (unsigned w = 0; w < config_.dataBlocksPerRow; ++w) {
+            if (ways_[base + w].valid)
+                ++n;
+        }
+        if (n)
+            intro_->noteSetOccupied(set, n);
+    }
+}
+
+void
+BlockCache::visitStatGroups(
+    const std::function<void(const StatGroup &)> &fn) const
+{
+    fn(stats_);
 }
 
 } // namespace fpc

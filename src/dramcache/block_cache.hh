@@ -62,6 +62,12 @@ class BlockCache : public MemorySystem
     MemSystemResult access(Cycle now, const MemRequest &req) override;
     void writeback(Cycle now, Addr block_addr) override;
 
+    void attachIntrospection(CacheIntrospection *intro) override;
+    void finalizeIntrospection() override;
+    void visitStatGroups(
+        const std::function<void(const StatGroup &)> &fn)
+        const override;
+
     void
     prefetchFor(Addr paddr) const override
     {
@@ -166,6 +172,8 @@ class BlockCache : public MemorySystem
     SetPartitionSpec partition_;
     /** Per-tenant block quota (tenant.policy=quota). */
     TenantQuota quota_;
+    /** Introspection sink (null = off; see introspection.hh). */
+    CacheIntrospection *intro_ = nullptr;
 
     StatGroup stats_;
     Counter demand_accesses_;

@@ -108,6 +108,9 @@ class FootprintHistoryTable
     std::uint32_t numEntries() const { return config_.entries; }
     const Config &config() const { return config_; }
 
+    /** Registered counters (uniform DesignProbe streaming). */
+    const StatGroup &stats() const { return stats_; }
+
   private:
     struct Entry
     {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/introspection.hh"
 
 namespace fpc {
 
@@ -89,6 +90,11 @@ FootprintCache::evictPage(const PageTagArray::Victim &victim,
 {
     page_evictions_.inc();
     accountResidency(victim.blocks, victim.predicted);
+    if (intro_) {
+        intro_->noteSetConflict(victim.frame / config_.tags.assoc);
+        intro_->noteTouchedBlocks(
+            victim.blocks.demandedMap().count());
+    }
 
     // Train the FHT with the demanded vector (§4.3). Stale
     // pointers are detected inside update().
@@ -159,6 +165,8 @@ FootprintCache::allocateAndFill(Cycle when, const MemRequest &req,
     }
     entry->blocks.fillDemanded(offset);
     blocks_fetched_.inc();
+    if (intro_)
+        intro_->noteFetchedBlocks(1);
 
     // Fetch the rest of the predicted footprint in the background.
     const BlockBitmap rest =
@@ -181,6 +189,8 @@ FootprintCache::allocateAndFill(Cycle when, const MemRequest &req,
                 entry->blocks.fillPredicted(b);
         }
         blocks_fetched_.inc(n);
+        if (intro_)
+            intro_->noteFetchedBlocks(n);
     }
     return demand.firstBlockReady;
 }
@@ -192,6 +202,8 @@ FootprintCache::access(Cycle now, const MemRequest &req)
     const Cycle t = now + config_.tagLatencyCycles;
     const Addr page_id = pageIdOf(req.paddr);
     const unsigned offset = offsetOf(req.paddr);
+    if (intro_)
+        intro_->noteSetAccess(tags_.setIndexOf(page_id));
 
     if (PageTagEntry *entry = tags_.lookup(page_id)) {
         if (entry->blocks.present(offset)) {
@@ -210,6 +222,10 @@ FootprintCache::access(Cycle now, const MemRequest &req)
         // Underprediction: page resident, block absent. Fetch the
         // block on demand and install it (§3.1).
         underpred_misses_.inc();
+        if (intro_) {
+            intro_->noteUnderfetchMiss();
+            intro_->noteFetchedBlocks(1);
+        }
         Cycle done = t;
         if (timed()) {
             DramAccessResult off =
@@ -228,6 +244,8 @@ FootprintCache::access(Cycle now, const MemRequest &req)
 
     // Triggering miss (§4.2).
     trig_misses_.inc();
+    if (intro_)
+        intro_->noteTriggeringMiss(page_id);
 
     // Tenant quota: a tenant at its frame quota whose allocation
     // would displace another tenant's page bypasses the cache
@@ -319,6 +337,37 @@ FootprintCache::finalizeResidency()
     tags_.forEachValid([this](const PageTagEntry &e) {
         accountResidency(e.blocks, e.predicted);
     });
+}
+
+void
+FootprintCache::attachIntrospection(CacheIntrospection *intro)
+{
+    intro_ = intro;
+    if (intro_)
+        intro_->configureSetSpace(tags_.numSets());
+}
+
+void
+FootprintCache::finalizeIntrospection()
+{
+    if (!intro_)
+        return;
+    // Residency walk without stat side effects: touched blocks of
+    // still-resident pages join the fill-accuracy tallies, and the
+    // set occupancy snapshot lands in the measured window.
+    tags_.forEachValid([this](const PageTagEntry &e) {
+        intro_->noteSetOccupied(
+            tags_.frameIndex(&e) / config_.tags.assoc, 1);
+        intro_->noteTouchedBlocks(e.blocks.demandedMap().count());
+    });
+}
+
+void
+FootprintCache::visitStatGroups(
+    const std::function<void(const StatGroup &)> &fn) const
+{
+    fn(stats_);
+    fn(fht_.stats());
 }
 
 } // namespace fpc

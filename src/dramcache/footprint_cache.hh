@@ -69,6 +69,12 @@ class FootprintCache : public MemorySystem
     MemSystemResult access(Cycle now, const MemRequest &req) override;
     void writeback(Cycle now, Addr block_addr) override;
 
+    void attachIntrospection(CacheIntrospection *intro) override;
+    void finalizeIntrospection() override;
+    void visitStatGroups(
+        const std::function<void(const StatGroup &)> &fn)
+        const override;
+
     void
     prefetchFor(Addr paddr) const override
     {
@@ -219,6 +225,8 @@ class FootprintCache : public MemorySystem
     SingletonTable st_;
     /** Per-tenant frame quota (tenant.policy=quota). */
     TenantQuota quota_;
+    /** Introspection sink (null = off; see introspection.hh). */
+    CacheIntrospection *intro_ = nullptr;
 
     StatGroup stats_;
     Counter demand_accesses_;

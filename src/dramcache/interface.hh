@@ -9,12 +9,16 @@
 #define FPC_DRAMCACHE_INTERFACE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/types.hh"
 #include "mem/request.hh"
 
 namespace fpc {
+
+class CacheIntrospection;
+class StatGroup;
 
 /**
  * Simulation fidelity of the memory system (two-phase engine).
@@ -98,6 +102,42 @@ class MemorySystem
      * DRAM (block-granularity hits, as plotted in Figure 5a).
      */
     virtual std::uint64_t demandHits() const = 0;
+
+    /**
+     * Attach the cache-introspection sink (null detaches). The
+     * pod calls this at the measurement boundary; implementations
+     * store the pointer, declare their set space
+     * (CacheIntrospection::configureSetSpace) and thereafter feed
+     * the design-side hooks behind one predictable null test per
+     * site. The default ignores the sink (baseline/ideal have no
+     * introspectable structure).
+     */
+    virtual void
+    attachIntrospection(CacheIntrospection *intro)
+    {
+        (void)intro;
+    }
+
+    /**
+     * Flush end-of-window introspection state (resident-entry
+     * occupancy walks, still-resident touched-block tallies).
+     * Called once by the pod after the measured window, before
+     * the final metric capture. Default no-op.
+     */
+    virtual void finalizeIntrospection() {}
+
+    /**
+     * Visit the design's StatGroups in a fixed order (the uniform
+     * DesignProbe surface): every registered counter becomes one
+     * "group.counter" probe column of the interval stream when
+     * --design-probes is on. Default: no groups.
+     */
+    virtual void
+    visitStatGroups(
+        const std::function<void(const StatGroup &)> &fn) const
+    {
+        (void)fn;
+    }
 
     /** Block-granularity DRAM-cache miss ratio (Figure 5a). */
     double

@@ -153,6 +153,13 @@ class PageTagArray
     /** Frame index of an entry (set * assoc + way). */
     std::uint64_t frameIndex(const PageTagEntry *entry) const;
 
+    /** Set @p page_id indexes (introspection heatmaps). */
+    std::uint64_t
+    setIndexOf(Addr page_id) const
+    {
+        return setOf(page_id);
+    }
+
     /** Stacked-DRAM byte address of frame @p frame. */
     Addr
     frameAddr(std::uint64_t frame) const

@@ -8,6 +8,13 @@ Experiment::Experiment(const Config &config, TraceSource &trace)
     const DesignDef &def =
         DesignRegistry::instance().at(config_.design);
 
+    // The miss-attribution shadow directory models the design's
+    // own capacity; the design config owns that number, so thread
+    // it into the pod's telemetry knobs here.
+    if (config_.pod.telemetry.introspectionOn())
+        config_.pod.telemetry.shadowCapacityBytes =
+            config_.capacityBytes();
+
     // Row-buffer policies are chosen per system for optimal
     // performance (§5.2): off-chip stays open-page, which is
     // optimal for every design under our post-cache traffic; the
@@ -27,6 +34,17 @@ Experiment::Experiment(const Config &config, TraceSource &trace)
     offchip_ = std::make_unique<DramSystem>(off_cfg);
     if (def.usesStackedDram)
         stacked_ = std::make_unique<DramSystem>(stk_cfg);
+
+    // Spatial heatmaps need the per-bank DRAM counters; enabled
+    // before any access so they conserve against the aggregate
+    // channel statistics over the measured window (both rebase at
+    // resetTiming). Sampled runs disable introspection entirely.
+    if (config_.pod.telemetry.heatmaps &&
+        !config_.pod.sampling.enabled) {
+        if (stacked_)
+            stacked_->enableBankCounters();
+        offchip_->enableBankCounters();
+    }
 
     instance_ = def.build(config_, stacked_.get(), *offchip_);
 

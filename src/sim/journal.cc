@@ -21,9 +21,11 @@ namespace fpc {
 namespace {
 
 // v2 added the telemetry intervals section; v3 the sampled-mode
-// timing fields. Older entries fail the magic check and the point
-// simply re-runs — safe by design.
-constexpr const char *kMagic = "fpcjournal 3";
+// timing fields; v4 the introspection probe columns (names,
+// aggregate values, per-interval deltas) and the spatial heatmap.
+// Older entries fail the magic check and the point simply re-runs
+// — safe by design.
+constexpr const char *kMagic = "fpcjournal 4";
 constexpr const char *kSuffix = ".pt";
 
 /** FNV-1a (matches the sweep key hash). */
@@ -284,6 +286,43 @@ SweepJournal::serialize(const ExperimentPoint &point,
                       t.demandHits, t.memLatencyCycles,
                       t.offchipBytes);
         }
+        appendFmt(out, "\niprobe %zu", iv.probeValues.size());
+        for (std::uint64_t v : iv.probeValues)
+            appendFmt(out, " %" PRIu64, v);
+    }
+    // v4: introspection probe columns and the spatial heatmap, so
+    // a resumed sweep reproduces the --timeseries-out and
+    // --heatmap-out artifacts without re-running the point.
+    appendFmt(out, "\nprobenames %zu", r.probeNames.size());
+    for (const std::string &name : r.probeNames) {
+        out += "\npname ";
+        appendRaw(out, name);
+    }
+    appendFmt(out, "\nprobevals %zu", m.probeValues.size());
+    for (std::uint64_t v : m.probeValues)
+        appendFmt(out, " %" PRIu64, v);
+    const HeatmapData &hm = r.heatmap;
+    appendFmt(out,
+              "\nheatmap %u %" PRIu64 " %" PRIu64 " %zu",
+              hm.valid ? 1u : 0u, hm.numSets, hm.setsPerBin,
+              hm.setAccess.size());
+    const auto bins = [&out](const char *tag,
+                             const std::vector<std::uint64_t> &v) {
+        out += "\n";
+        out += tag;
+        for (std::uint64_t b : v)
+            appendFmt(out, " %" PRIu64, b);
+    };
+    bins("haccess", hm.setAccess);
+    bins("hconflict", hm.setConflict);
+    bins("hoccupancy", hm.setOccupancy);
+    appendFmt(out, "\nhdrams %zu", hm.drams.size());
+    for (const HeatmapData::DramGrid &g : hm.drams) {
+        appendFmt(out, "\nhdram %u %u ", g.channels, g.banks);
+        appendRaw(out, g.name);
+        bins("hacts", g.activates);
+        bins("hreads", g.reads);
+        bins("hwrites", g.writes);
     }
     out += "\nend\n";
     return out;
@@ -431,6 +470,97 @@ SweepJournal::parse(const std::string &text, std::string &key,
                 !in.u64(t.offchipBytes))
                 return false;
         }
+        std::uint64_t probe_count = 0;
+        in.skipSpace();
+        if (!in.literal("iprobe") || !in.u64(probe_count) ||
+            probe_count > 1u << 16)
+            return false;
+        iv.probeValues.resize(probe_count);
+        for (std::uint64_t &v : iv.probeValues) {
+            if (!in.u64(v))
+                return false;
+        }
+    }
+
+    in.skipSpace();
+    if (!in.literal("probenames") || !in.u64(count) ||
+        count > 1u << 16)
+        return false;
+    r.probeNames.resize(count);
+    for (std::string &name : r.probeNames) {
+        in.skipSpace();
+        if (!in.literal("pname ") || !in.raw(name))
+            return false;
+    }
+    in.skipSpace();
+    if (!in.literal("probevals") || !in.u64(count) ||
+        count > 1u << 16)
+        return false;
+    m.probeValues.resize(count);
+    for (std::uint64_t &v : m.probeValues) {
+        if (!in.u64(v))
+            return false;
+    }
+
+    HeatmapData &hm = r.heatmap;
+    std::uint64_t hm_valid = 0, bin_count = 0;
+    in.skipSpace();
+    if (!in.literal("heatmap") || !in.u64(hm_valid) ||
+        hm_valid > 1 || !in.u64(hm.numSets) ||
+        !in.u64(hm.setsPerBin) || !in.u64(bin_count) ||
+        bin_count > 1u << 16)
+        return false;
+    hm.valid = hm_valid != 0;
+    const auto bins = [&in, bin_count](
+                          const char *tag,
+                          std::vector<std::uint64_t> &v) {
+        in.skipSpace();
+        if (!in.literal(tag))
+            return false;
+        v.resize(bin_count);
+        for (std::uint64_t &b : v) {
+            if (!in.u64(b))
+                return false;
+        }
+        return true;
+    };
+    if (!bins("haccess", hm.setAccess) ||
+        !bins("hconflict", hm.setConflict) ||
+        !bins("hoccupancy", hm.setOccupancy))
+        return false;
+    in.skipSpace();
+    if (!in.literal("hdrams") || !in.u64(count) || count > 64)
+        return false;
+    hm.drams.resize(count);
+    for (HeatmapData::DramGrid &g : hm.drams) {
+        std::uint64_t channels = 0, banks = 0;
+        in.skipSpace();
+        if (!in.literal("hdram") || !in.u64(channels) ||
+            !in.u64(banks) || channels > 4096 || banks > 4096)
+            return false;
+        g.channels = static_cast<unsigned>(channels);
+        g.banks = static_cast<unsigned>(banks);
+        in.skipSpace();
+        if (!in.raw(g.name))
+            return false;
+        const std::uint64_t cells = channels * banks;
+        const auto cellsOf = [&in, cells](
+                                 const char *tag,
+                                 std::vector<std::uint64_t> &v) {
+            in.skipSpace();
+            if (!in.literal(tag))
+                return false;
+            v.resize(cells);
+            for (std::uint64_t &b : v) {
+                if (!in.u64(b))
+                    return false;
+            }
+            return true;
+        };
+        if (!cellsOf("hacts", g.activates) ||
+            !cellsOf("hreads", g.reads) ||
+            !cellsOf("hwrites", g.writes))
+            return false;
     }
 
     in.skipSpace();

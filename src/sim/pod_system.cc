@@ -9,6 +9,52 @@
 
 namespace fpc {
 
+namespace {
+
+/** Collects "group.counter" names from a design's stat groups. */
+class ProbeNameCollector final : public StatVisitor
+{
+  public:
+    ProbeNameCollector(const std::string &group,
+                       std::vector<std::string> &out)
+        : prefix_(group + "."), out_(out)
+    {
+    }
+
+    void
+    counter(const std::string &name, const std::string &,
+            std::uint64_t) override
+    {
+        out_.push_back(prefix_ + name);
+    }
+
+  private:
+    std::string prefix_;
+    std::vector<std::string> &out_;
+};
+
+/** Collects counter values in the same visit order. */
+class ProbeValueCollector final : public StatVisitor
+{
+  public:
+    explicit ProbeValueCollector(std::vector<std::uint64_t> &out)
+        : out_(out)
+    {
+    }
+
+    void
+    counter(const std::string &, const std::string &,
+            std::uint64_t value) override
+    {
+        out_.push_back(value);
+    }
+
+  private:
+    std::vector<std::uint64_t> &out_;
+};
+
+} // namespace
+
 PodSystem::PodSystem(const PodConfig &config, TraceSource &trace,
                      MemorySystem &memory, DramSystem *stacked,
                      DramSystem &offchip)
@@ -28,6 +74,53 @@ PodSystem::PodSystem(const PodConfig &config, TraceSource &trace,
     }
     if (config_.telemetry.histograms)
         probe_ = std::make_unique<TelemetryProbe>();
+    // Introspection is an exact-mode instrument: under sampling
+    // the measured window is a statistical composite and the
+    // shadow directory would see a punctured stream.
+    if (config_.telemetry.introspectionOn() &&
+        !config_.sampling.enabled) {
+        CacheIntrospection::Config ic;
+        ic.missAttributionStride =
+            config_.telemetry.missAttributionStride;
+        ic.designProbes = config_.telemetry.designProbes;
+        ic.heatmaps = config_.telemetry.heatmaps;
+        ic.shadowCapacityBytes =
+            config_.telemetry.shadowCapacityBytes;
+        intro_ = std::make_unique<CacheIntrospection>(ic);
+    }
+}
+
+void
+PodSystem::armIntrospection()
+{
+    if (!intro_ || intro_armed_)
+        return;
+    memory_.attachIntrospection(intro_.get());
+    probe_names_ = CacheIntrospection::counterNames();
+    if (config_.telemetry.designProbes) {
+        memory_.visitStatGroups([this](const StatGroup &g) {
+            ProbeNameCollector v(g.name(), probe_names_);
+            g.visit(v);
+        });
+    }
+    intro_armed_ = true;
+}
+
+std::vector<std::uint64_t>
+PodSystem::captureProbeValues() const
+{
+    std::vector<std::uint64_t> vals;
+    if (!intro_armed_)
+        return vals;
+    vals.reserve(probe_names_.size());
+    intro_->appendValues(vals);
+    if (config_.telemetry.designProbes) {
+        memory_.visitStatGroups([&vals](const StatGroup &g) {
+            ProbeValueCollector v(vals);
+            g.visit(v);
+        });
+    }
+    return vals;
 }
 
 PodSystem::Snapshot
@@ -56,6 +149,8 @@ PodSystem::capture(Cycle now) const
         for (unsigned t = 0; t < s.tenants.size(); ++t)
             s.tenants[t].offchipBytes = offchip_.tenantBytes(t);
     }
+    if (intro_armed_)
+        s.probeValues = captureProbeValues();
     return s;
 }
 
@@ -473,6 +568,10 @@ PodSystem::recordInterval(Snapshot &prev, Cycle now)
             e.memLatencyCycles - p.memLatencyCycles;
         tm.offchipBytes = e.offchipBytes - p.offchipBytes;
     }
+    s.probeValues.resize(cur.probeValues.size());
+    for (std::size_t i = 0; i < cur.probeValues.size(); ++i)
+        s.probeValues[i] =
+            cur.probeValues[i] - prev.probeValues[i];
     intervals_.push_back(std::move(s));
     if (record_epoch_energy_) {
         epoch_energy_.push_back(
@@ -509,6 +608,10 @@ PodSystem::runMeasure(std::uint64_t measure_refs, bool measured,
     // Hot-path distribution probe: one predictable null test per
     // site when telemetry is off.
     TelemetryProbe *probe = measured ? probe_.get() : nullptr;
+    // Miss-attribution shadow probe: same null-when-off pattern;
+    // armed only once run() reached the measurement boundary.
+    CacheIntrospection *intro =
+        measured && intro_armed_ ? intro_.get() : nullptr;
     DramSystem *occupancy_dram = stacked_ ? stacked_ : &offchip_;
 
     EventQueue<unsigned> ready;
@@ -613,6 +716,8 @@ PodSystem::runMeasure(std::uint64_t measure_refs, bool measured,
                     occupancy_dram->busyBanks(mem_issue));
             MemSystemResult res =
                 memory_.access(mem_issue, rec.req);
+            if (intro)
+                intro->observeDemand(rec.req.paddr, res.cacheHit);
             ready_at = res.doneAt;
             if (res.doneAt > mem_issue)
                 total_mem_latency_ += res.doneAt - mem_issue;
@@ -694,12 +799,22 @@ PodSystem::runMeasure(std::uint64_t measure_refs, bool measured,
         carry->primed = true;
     }
 
+    // Finalize-time introspection walks (set occupancy, touched
+    // blocks of resident pages) happen before the final epoch
+    // close so they land both in the last interval delta and in
+    // run()'s aggregate — probe columns keep telescoping.
+    if (intro)
+        memory_.finalizeIntrospection();
+
     // Close the final (possibly partial) epoch so the intervals
     // always sum to the aggregate. `now` can advance past the
     // last boundary even with zero records (exhausted-trace event
-    // pops), so cycles participate in the emptiness test.
+    // pops), so cycles participate in the emptiness test. The
+    // finalize walks above can move probe counters without
+    // records or cycles advancing, so they participate too.
     if (interval &&
-        (total_records_ != prev.records || now != prev.now))
+        (total_records_ != prev.records || now != prev.now ||
+         (intro && captureProbeValues() != prev.probeValues)))
         recordInterval(prev, now);
     return now;
 }
@@ -722,6 +837,12 @@ PodSystem::run(std::uint64_t warmup_refs,
             runWarmup(warmup_refs);
         }
     }
+
+    // Arm introspection only for a real measured window: a
+    // warmup-only run() must neither attach the design hooks nor
+    // walk the warm caches at its (empty) measurement boundary.
+    if (measure_refs > 0)
+        armIntrospection();
 
     const Snapshot start = capture(0);
     const Cycle end_now = runMeasure(measure_refs, true);
@@ -757,6 +878,10 @@ PodSystem::run(std::uint64_t warmup_refs,
             e.memLatencyCycles - s.memLatencyCycles;
         tm.offchipBytes = e.offchipBytes - s.offchipBytes;
     }
+    m.probeValues.resize(end.probeValues.size());
+    for (std::size_t i = 0; i < end.probeValues.size(); ++i)
+        m.probeValues[i] =
+            end.probeValues[i] - start.probeValues[i];
     return m;
 }
 

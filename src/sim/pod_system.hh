@@ -44,6 +44,7 @@
 #include "mem/trace.hh"
 #include "mem/trace_cache.hh"
 #include "sim/sampling.hh"
+#include "telemetry/introspection.hh"
 #include "telemetry/telemetry.hh"
 #include "tenant/tenant.hh"
 
@@ -166,6 +167,14 @@ struct RunMetrics
      * bit-exactly to the corresponding aggregate above.
      */
     std::vector<TenantMetrics> tenants;
+
+    /**
+     * Introspection probe deltas over this window, positionally
+     * aligned with PodSystem::probeNames() (empty unless
+     * introspection is on). The per-interval probeValues deltas
+     * sum bit-exactly to these.
+     */
+    std::vector<std::uint64_t> probeValues;
 
     /** Average memory-system latency per demand access. */
     double
@@ -476,6 +485,26 @@ class PodSystem
     /** Hot-path probe (null unless histograms are enabled). */
     const TelemetryProbe *probe() const { return probe_.get(); }
 
+    /** Introspection layer (null unless introspection is on). */
+    const CacheIntrospection *
+    introspection() const
+    {
+        return intro_.get();
+    }
+
+    /**
+     * Probe column names: the fixed introspection scalars, then
+     * (with designProbes) one "group.counter" entry per counter
+     * the design's stat groups expose, in visit order. Filled at
+     * the first run()'s measurement boundary; empty when
+     * introspection is off.
+     */
+    const std::vector<std::string> &
+    probeNames() const
+    {
+        return probe_names_;
+    }
+
   private:
     struct Snapshot
     {
@@ -495,9 +524,18 @@ class PodSystem
         double stackedActPreNj = 0.0;
         double stackedBurstNj = 0.0;
         std::vector<TenantMetrics> tenants;
+        /** Probe values (probeNames() order; empty = intro off). */
+        std::vector<std::uint64_t> probeValues;
     };
 
     Snapshot capture(Cycle now) const;
+
+    /** Arm introspection at the measurement boundary (idempotent):
+     * attach to the memory system and build probe_names_. */
+    void armIntrospection();
+
+    /** Current probe values in probeNames() order. */
+    std::vector<std::uint64_t> captureProbeValues() const;
 
     /**
      * Lightweight warmup loop: round-robin dispatch, no event
@@ -580,6 +618,18 @@ class PodSystem
 
     /** Allocated only when telemetry histograms are on. */
     std::unique_ptr<TelemetryProbe> probe_;
+
+    /**
+     * Allocated only when TelemetryConfig::introspectionOn() and
+     * sampling is off (sampled runs skip introspection entirely).
+     * Attached to the memory system at the measurement boundary
+     * so every counter covers exactly the measured window.
+     */
+    std::unique_ptr<CacheIntrospection> intro_;
+    /** Probe column names (see probeNames()). */
+    std::vector<std::string> probe_names_;
+    /** armIntrospection() latch. */
+    bool intro_armed_ = false;
 };
 
 } // namespace fpc

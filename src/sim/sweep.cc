@@ -166,6 +166,15 @@ parseCommonFlag(SweepOptions &opts, int argc, char **argv, int &i)
     } else if (!std::strcmp(argv[i], "--timeseries-out") &&
                i + 1 < argc) {
         opts.timeseriesOut = argv[++i];
+    } else if (!std::strcmp(argv[i], "--miss-attribution") &&
+               i + 1 < argc) {
+        opts.missAttribution = static_cast<unsigned>(
+            std::strtoul(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--design-probes")) {
+        opts.designProbes = true;
+    } else if (!std::strcmp(argv[i], "--heatmap-out") &&
+               i + 1 < argc) {
+        opts.heatmapOut = argv[++i];
     } else if (!std::strcmp(argv[i], "--trace-out") &&
                i + 1 < argc) {
         opts.traceOut = argv[++i];
@@ -203,6 +212,8 @@ const char *kCommonFlagsUsage =
     "[--point-deadline-s F] [--fault-plan PLAN] "
     "[--interval-records N] [--histograms] "
     "[--timeseries-out FILE] [--trace-out FILE] "
+    "[--miss-attribution K] [--design-probes] "
+    "[--heatmap-out FILE] "
     "[--sample-mode] [--sample-intervals N] "
     "[--sample-interval-records N] [--sample-target-ci F]";
 
@@ -509,6 +520,114 @@ appendSampledExtras(
     put("offchip_gbps", bw);
 }
 
+/** Aggregate probe delta by column name (false when absent). */
+bool
+probeValue(const PointResult &r, const char *name,
+           std::uint64_t &out)
+{
+    for (std::size_t i = 0; i < r.probeNames.size(); ++i) {
+        if (r.probeNames[i] == name &&
+            i < r.metrics.probeValues.size()) {
+            out = r.metrics.probeValues[i];
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Miss-attribution fractions and fill accuracy/overfetch extras
+ * of one introspected point. Accuracy is the share of fetched
+ * data the core actually demanded, per design: footprint/page
+ * from the residency-accounted covered/overpredicted split; alloy
+ * from its MAP-I predictor counters (overfetch = wasted off-chip
+ * reads per demand access); banshee from the introspection
+ * fetched/touched tallies (whole-page fills; writeback-installed
+ * blocks can push touched past fetched, hence the clamp); designs
+ * that fetch only what was demanded report 1.0 / 0.0.
+ */
+void
+appendIntrospectionExtras(const ExperimentPoint &point,
+                          const CacheIntrospection &intro,
+                          PointResult &r)
+{
+    if (intro.config().missAttributionStride > 0) {
+        const double misses = static_cast<double>(
+            std::max<std::uint64_t>(1, intro.sampledMisses()));
+        r.extra.emplace_back(
+            "attr_sampled_demand",
+            static_cast<double>(intro.sampledDemand()));
+        r.extra.emplace_back(
+            "attr_sampled_misses",
+            static_cast<double>(intro.sampledMisses()));
+        r.extra.emplace_back("attr_compulsory",
+                             intro.compulsoryMisses() / misses);
+        r.extra.emplace_back("attr_capacity",
+                             intro.capacityMisses() / misses);
+        r.extra.emplace_back("attr_conflict",
+                             intro.conflictMisses() / misses);
+    }
+
+    double accuracy = 1.0, overfetch = 0.0;
+    std::uint64_t correct = 0, wrong = 0, wasted = 0;
+    if (r.hasFootprint) {
+        const double fetched =
+            static_cast<double>(r.covered + r.overpred);
+        if (fetched > 0) {
+            accuracy = r.covered / fetched;
+            overfetch = r.overpred / fetched;
+        }
+    } else if (point.cfg.design == "alloy" &&
+               probeValue(r, "alloy.map_correct", correct) &&
+               probeValue(r, "alloy.map_mispredicts", wrong)) {
+        if (correct + wrong > 0)
+            accuracy = static_cast<double>(correct) /
+                       static_cast<double>(correct + wrong);
+        probeValue(r, "alloy.wasted_offchip_reads", wasted);
+        if (r.metrics.demandAccesses > 0)
+            overfetch = static_cast<double>(wasted) /
+                        static_cast<double>(
+                            r.metrics.demandAccesses);
+    } else if (intro.fetchedBlocks() > 0) {
+        const double fetched =
+            static_cast<double>(intro.fetchedBlocks());
+        const double touched = std::min(
+            fetched,
+            static_cast<double>(intro.touchedBlocks()));
+        accuracy = touched / fetched;
+        overfetch = 1.0 - accuracy;
+    }
+    r.extra.emplace_back("introspect_accuracy", accuracy);
+    r.extra.emplace_back("introspect_overfetch", overfetch);
+}
+
+/** One DRAM system's channel x bank grid (no-op when its bank
+ * counters were never enabled). */
+void
+harvestDramGrid(const DramSystem &sys, HeatmapData &hm)
+{
+    if (!sys.bankCountersEnabled())
+        return;
+    HeatmapData::DramGrid g;
+    g.name = sys.config().name;
+    g.channels = sys.numChannels();
+    g.banks = sys.numBanks();
+    const std::size_t cells =
+        std::size_t{g.channels} * g.banks;
+    g.activates.reserve(cells);
+    g.reads.reserve(cells);
+    g.writes.reserve(cells);
+    for (unsigned ch = 0; ch < g.channels; ++ch) {
+        const DramChannel &c = sys.channel(ch);
+        for (unsigned b = 0; b < g.banks; ++b) {
+            g.activates.push_back(c.bankActivates(b));
+            g.reads.push_back(c.bankBlocksRead(b));
+            g.writes.push_back(c.bankBlocksWritten(b));
+        }
+    }
+    hm.drams.push_back(std::move(g));
+}
+
 } // namespace
 
 PointResult
@@ -689,6 +808,30 @@ runPoint(const ExperimentPoint &point)
         out.densityPages = h.totalSamples();
         for (unsigned b = 0; b < h.numBuckets(); ++b)
             out.densityBuckets.push_back(h.bucket(b));
+    }
+
+    // Introspection harvest: probe column names ride the result
+    // into the --timeseries-out artifact (and the journal), the
+    // attribution / fill-accuracy summaries become report extras,
+    // and the spatial counters become the --heatmap-out artifact.
+    // Null whenever introspection is off or the point ran sampled.
+    if (const CacheIntrospection *intro =
+            exp.pod().introspection()) {
+        out.probeNames = exp.pod().probeNames();
+        appendIntrospectionExtras(point, *intro, out);
+        if (intro->config().heatmaps) {
+            out.heatmap.valid = true;
+            out.heatmap.numSets = intro->numSets();
+            out.heatmap.setsPerBin =
+                intro->setSpaceConfigured() ? intro->setsPerBin()
+                                            : 0;
+            out.heatmap.setAccess = intro->setAccess();
+            out.heatmap.setConflict = intro->setConflict();
+            out.heatmap.setOccupancy = intro->setOccupancy();
+            if (const DramSystem *stk = exp.stacked())
+                harvestDramGrid(*stk, out.heatmap);
+            harvestDramGrid(exp.offchip(), out.heatmap);
+        }
     }
     return out;
 }

@@ -33,6 +33,7 @@
 
 #include "mem/trace_cache.hh"
 #include "sim/experiment.hh"
+#include "telemetry/heatmap.hh"
 #include "workload/spec.hh"
 
 namespace fpc {
@@ -156,6 +157,31 @@ struct SweepOptions
      * configuration (ExperimentPoint::pinSampling) are exempt.
      */
     bool sampleMode = false;
+
+    /**
+     * Miss-attribution set-sampling stride K (--miss-attribution;
+     * 0 = off). Classifies stacked-DRAM misses as compulsory /
+     * capacity / conflict over a 1-in-K sample of sets and adds
+     * attr_* extras to each point. Like --histograms, this
+     * intentionally changes report bytes; sampled points are
+     * exempt (introspection is exact-mode only).
+     */
+    unsigned missAttribution = 0;
+
+    /**
+     * Stream per-design structure counters (--design-probes):
+     * every StatGroup counter the design registers becomes a
+     * probe column in the --timeseries-out artifact plus
+     * fill-accuracy extras in the report.
+     */
+    bool designProbes = false;
+
+    /**
+     * Write per-set / per-bank spatial heatmaps to this file
+     * (--heatmap-out). A standalone artifact like
+     * --timeseries-out: the merged report never references it.
+     */
+    std::string heatmapOut;
 
     /** Measurement intervals per point (--sample-intervals;
      * 0 = SamplingConfig default). */
@@ -371,6 +397,22 @@ struct PointResult
      * artifact without re-running.
      */
     std::vector<IntervalSample> intervals;
+
+    /**
+     * Names of the introspection probe columns, positionally
+     * aligned with metrics.probeValues and every interval's
+     * probeValues (empty unless introspection armed). Journaled
+     * alongside the values so resumed sweeps reproduce the
+     * --timeseries-out artifact byte-identically.
+     */
+    std::vector<std::string> probeNames;
+
+    /**
+     * Spatial heatmap counters of the measured window (valid only
+     * when --heatmap-out armed them). Emitted only into the
+     * --heatmap-out artifact, never the merged report.
+     */
+    HeatmapData heatmap;
 
     /**
      * Attempts this point consumed (1 = first try succeeded).

@@ -1,0 +1,117 @@
+/** @file Spatial heatmap renderer (see heatmap.hh). */
+
+#include "telemetry/heatmap.hh"
+
+#include "common/json.hh"
+
+namespace fpc {
+
+namespace {
+
+std::uint64_t
+sumOf(const std::vector<std::uint64_t> &v)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t x : v)
+        total += x;
+    return total;
+}
+
+void
+appendCells(std::string &out, const char *indent,
+            const char *name,
+            const std::vector<std::uint64_t> &cells)
+{
+    appendFmt(out, "%s\"%s\": [", indent, name);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out += ", ";
+        appendFmt(out, "%llu",
+                  static_cast<unsigned long long>(cells[i]));
+    }
+    out += "],\n";
+    appendFmt(out, "%s\"%s_total\": %llu", indent, name,
+              static_cast<unsigned long long>(sumOf(cells)));
+}
+
+} // namespace
+
+std::string
+renderHeatmapJson(double scale, std::uint64_t seed,
+                  const std::vector<HeatmapPoint> &points)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"bench\": \"sweep_heatmap\",\n";
+    appendFmt(out, "  \"scale\": %.3f,\n", scale);
+    appendFmt(out, "  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(seed));
+    out += "  \"points\": [\n";
+
+    bool first_point = true;
+    for (const HeatmapPoint &p : points) {
+        if (!p.data.valid)
+            continue;
+        if (!first_point)
+            out += ",\n";
+        first_point = false;
+
+        out += "    {\n      \"key\": \"";
+        appendJsonEscaped(out, p.key);
+        out += "\",\n      \"workload\": \"";
+        appendJsonEscaped(out, p.workload);
+        out += "\",\n      \"design\": \"";
+        appendJsonEscaped(out, p.design);
+        out += "\"";
+
+        if (!p.data.setAccess.empty()) {
+            out += ",\n      \"sets\": {\n";
+            appendFmt(out, "        \"num_sets\": %llu,\n",
+                      static_cast<unsigned long long>(
+                          p.data.numSets));
+            appendFmt(out, "        \"bins\": %llu,\n",
+                      static_cast<unsigned long long>(
+                          p.data.setAccess.size()));
+            appendFmt(out, "        \"sets_per_bin\": %llu,\n",
+                      static_cast<unsigned long long>(
+                          p.data.setsPerBin));
+            appendCells(out, "        ", "access",
+                        p.data.setAccess);
+            out += ",\n";
+            appendCells(out, "        ", "conflict",
+                        p.data.setConflict);
+            out += ",\n";
+            appendCells(out, "        ", "occupancy",
+                        p.data.setOccupancy);
+            out += "\n      }";
+        }
+
+        out += ",\n      \"drams\": [";
+        for (std::size_t d = 0; d < p.data.drams.size(); ++d) {
+            const HeatmapData::DramGrid &g = p.data.drams[d];
+            if (d)
+                out += ',';
+            out += "\n        {\n          \"name\": \"";
+            appendJsonEscaped(out, g.name);
+            out += "\",\n";
+            appendFmt(out, "          \"channels\": %u,\n",
+                      g.channels);
+            appendFmt(out, "          \"banks\": %u,\n",
+                      g.banks);
+            appendCells(out, "          ", "activates",
+                        g.activates);
+            out += ",\n";
+            appendCells(out, "          ", "reads", g.reads);
+            out += ",\n";
+            appendCells(out, "          ", "writes", g.writes);
+            out += "\n        }";
+        }
+        out += p.data.drams.empty() ? "]" : "\n      ]";
+        out += "\n    }";
+    }
+
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+} // namespace fpc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Spatial heatmap artifact for `sweep --heatmap-out`.
+ *
+ * Two coordinate systems per point: the cache's set space
+ * (decimated into at most CacheIntrospection::kMaxSetBins bins of
+ * occupancy / access / conflict counts) and the DRAM systems'
+ * channel x bank grids (activate / read / write counts over the
+ * measured window). The renderer is simulation-free and the
+ * artifact is standalone: the merged sweep report never references
+ * it, which keeps the report byte-identical when the flag is off.
+ *
+ * Every *_total field is computed in C++ from the same counters
+ * the cells came from, so a consumer (scripts/check_telemetry.py)
+ * can verify cells sum bit-exactly to the aggregates without
+ * trusting its own reassembly of the artifact.
+ */
+
+#ifndef FPC_TELEMETRY_HEATMAP_HH
+#define FPC_TELEMETRY_HEATMAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpc {
+
+/** Harvested heatmap counters of one sweep point. */
+struct HeatmapData
+{
+    bool valid = false;
+
+    /* Set-space heatmap (zero/empty for designs without sets). */
+    std::uint64_t numSets = 0;
+    std::uint64_t setsPerBin = 0;
+    std::vector<std::uint64_t> setAccess;
+    std::vector<std::uint64_t> setConflict;
+    std::vector<std::uint64_t> setOccupancy;
+
+    /** One channel x bank grid per DRAM system. */
+    struct DramGrid
+    {
+        std::string name;
+        unsigned channels = 0;
+        unsigned banks = 0;
+        /** Channel-major cells: index = channel * banks + bank. */
+        std::vector<std::uint64_t> activates;
+        std::vector<std::uint64_t> reads;
+        std::vector<std::uint64_t> writes;
+    };
+    std::vector<DramGrid> drams;
+};
+
+/** One point's heatmap, keyed like the report. */
+struct HeatmapPoint
+{
+    std::string key;
+    std::string workload;
+    std::string design;
+    HeatmapData data;
+};
+
+/**
+ * Render the full heatmap document. Points with an invalid
+ * HeatmapData (failed points, sampled points, introspection off)
+ * are skipped. Deterministic: points arrive in report order and
+ * every cell is integer-valued.
+ */
+std::string renderHeatmapJson(
+    double scale, std::uint64_t seed,
+    const std::vector<HeatmapPoint> &points);
+
+} // namespace fpc
+
+#endif // FPC_TELEMETRY_HEATMAP_HH

@@ -44,10 +44,49 @@ struct TelemetryConfig
     /** Accumulate hot-path latency/occupancy/MLP histograms. */
     bool histograms = false;
 
+    /**
+     * Miss-attribution set sampling: classify stacked-DRAM misses
+     * as compulsory/capacity/conflict via a shadow directory over
+     * a deterministic 1-in-K sample of cache sets (0 = off). The
+     * stride is part of the sampling identity: the same stride
+     * samples the same sets at any job count.
+     */
+    unsigned missAttributionStride = 0;
+
+    /**
+     * Stream every design's structure-level counters (FHT, MissMap,
+     * MAP-I, Banshee tag buffer, quotas) through the uniform
+     * DesignProbe column set of the interval stream.
+     */
+    bool designProbes = false;
+
+    /**
+     * Accumulate spatial heatmaps: per-set occupancy / access /
+     * conflict bins and per-channel-per-bank activate/read/write
+     * counters over the measured window.
+     */
+    bool heatmaps = false;
+
+    /**
+     * Nominal cache capacity the shadow directory models; filled
+     * by the Experiment harness from DesignConfig::capacityBytes()
+     * (never a CLI knob). 0 falls back to 256MB.
+     */
+    std::uint64_t shadowCapacityBytes = 0;
+
+    /** Any cache-introspection feature requested? */
+    bool
+    introspectionOn() const
+    {
+        return missAttributionStride != 0 || designProbes ||
+               heatmaps;
+    }
+
     bool
     enabled() const
     {
-        return intervalRecords != 0 || histograms;
+        return intervalRecords != 0 || histograms ||
+               introspectionOn();
     }
 };
 
@@ -75,6 +114,14 @@ struct IntervalSample
     std::uint64_t stackedBytes = 0;
     std::uint64_t offchipActs = 0;
     std::uint64_t stackedActs = 0;
+
+    /**
+     * Introspection probe deltas for this epoch, positionally
+     * aligned with the pod's probeNames() (empty unless cache
+     * introspection is armed). Plain u64 counter deltas, so they
+     * telescope exactly like the named fields above.
+     */
+    std::vector<std::uint64_t> probeValues;
 
     /** Per-tenant deltas for this epoch (empty when solo). */
     std::vector<TenantMetrics> tenants;

@@ -126,7 +126,36 @@ renderTimeseriesJson(double scale, std::uint64_t seed,
                      [](const IntervalSample &s) {
                          return s.stackedActs;
                      });
+        // Probe columns (introspection on): one per registered
+        // counter, by name; absent intervals (none in practice —
+        // the pod sizes every delta identically) read as 0.
+        for (std::size_t c = 0; c < p.probeNames.size(); ++c) {
+            appendColumn(out, p.probeNames[c].c_str(), iv,
+                         false,
+                         [c](const IntervalSample &s) {
+                             return c < s.probeValues.size()
+                                        ? s.probeValues[c]
+                                        : 0;
+                         });
+        }
         out += "\n      }";
+        if (!p.probeNames.empty()) {
+            out += ",\n      \"probe_totals\": {";
+            for (std::size_t c = 0; c < p.probeNames.size();
+                 ++c) {
+                if (c)
+                    out += ", ";
+                out += "\"";
+                appendJsonEscaped(out, p.probeNames[c]);
+                appendFmt(
+                    out, "\": %llu",
+                    static_cast<unsigned long long>(
+                        c < p.probeTotals.size()
+                            ? p.probeTotals[c]
+                            : 0));
+            }
+            out += "}";
+        }
 
         // Tenant columns: every interval of a point carries the
         // same tenant count (the pod's), so index 0 is

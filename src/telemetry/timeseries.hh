@@ -28,6 +28,16 @@ struct PointSeries
     std::string key;
     std::string workload;
     std::vector<IntervalSample> intervals;
+
+    /**
+     * Introspection probe columns (empty unless the sweep armed
+     * introspection): one extra column per name, values from each
+     * interval's probeValues, plus a "probe_totals" object with
+     * the aggregate window deltas — the per-epoch columns sum
+     * bit-exactly to these (scripts/check_telemetry.py).
+     */
+    std::vector<std::string> probeNames;
+    std::vector<std::uint64_t> probeTotals;
 };
 
 /**

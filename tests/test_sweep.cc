@@ -368,7 +368,7 @@ TEST(Registry, AllPaperExperimentsRegistered)
         "fig09",  "fig10",  "fig11",
         "fig12",  "table1", "table4",
         "ablation_capacity", "ablation_predictor", "frontier",
-        "colocation", "sampling_validation"};
+        "colocation", "sampling_validation", "introspection"};
     EXPECT_EQ(reg.names(), expected);
     for (const std::string &name : expected)
         EXPECT_NE(reg.find(name), nullptr) << name;
